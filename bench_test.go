@@ -1,0 +1,165 @@
+// Benchmark harness: one benchmark per table and figure of the paper.
+// Each benchmark regenerates its artifact end to end at small scale and
+// reports the wall time per regeneration; run with
+//
+//	go test -bench=. -benchmem
+//
+// The printed tables themselves come from cmd/coach-experiments; these
+// benchmarks exist so `go test -bench` exercises every experiment code
+// path and tracks its cost.
+package coach
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/coach-oss/coach/internal/experiments"
+)
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *experiments.Context
+)
+
+// benchContext shares one small-scale context (trace, fleets, trained
+// models) across all benchmarks, mirroring how the cmd tools run.
+func benchContext() *experiments.Context {
+	benchCtxOnce.Do(func() {
+		benchCtx = experiments.NewContext(experiments.ScaleSmall)
+	})
+	return benchCtx
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := benchContext()
+	// Warm the shared caches outside the timed region.
+	if _, err := ctx.Trace(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables produced")
+		}
+	}
+}
+
+// Characterization (paper §2).
+
+func BenchmarkFig2DurationHours(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig3SizeHours(b *testing.B)           { benchExperiment(b, "fig3") }
+func BenchmarkFig4Stranding(b *testing.B)           { benchExperiment(b, "fig4") }
+func BenchmarkFig5Bottleneck(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkFig6Correlation(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig7Windows(b *testing.B)             { benchExperiment(b, "fig7") }
+func BenchmarkFig8PeaksValleys(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig9Consistency(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10Savings(b *testing.B)            { benchExperiment(b, "fig10") }
+func BenchmarkFig11SavingsViolin(b *testing.B)      { benchExperiment(b, "fig11") }
+func BenchmarkFig12Groups(b *testing.B)             { benchExperiment(b, "fig12") }
+func BenchmarkFig17PercentileTradeoff(b *testing.B) { benchExperiment(b, "fig17") }
+
+// Server-scale evaluation (paper §4.2, §4.4).
+
+func BenchmarkFig15PAVATradeoff(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig18WorkloadPerf(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFig21Mitigation(b *testing.B)   { benchExperiment(b, "fig21") }
+
+// Cluster-scale evaluation (paper §4.3).
+
+func BenchmarkFig19PredictionError(b *testing.B) { benchExperiment(b, "fig19") }
+func BenchmarkFig20Packing(b *testing.B)         { benchExperiment(b, "fig20") }
+
+// Tables and overheads.
+
+func BenchmarkTable1Fungibility(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkTable2Workloads(b *testing.B)   { benchExperiment(b, "tab2") }
+func BenchmarkSec45Overheads(b *testing.B)    { benchExperiment(b, "sec45") }
+
+// Ablations (beyond the paper; see DESIGN.md §5).
+
+func BenchmarkAblationWindows(b *testing.B)    { benchExperiment(b, "abl-windows") }
+func BenchmarkAblationPercentile(b *testing.B) { benchExperiment(b, "abl-percentile") }
+func BenchmarkAblationForest(b *testing.B)     { benchExperiment(b, "abl-forest") }
+func BenchmarkAblationMonitor(b *testing.B)    { benchExperiment(b, "abl-monitor") }
+
+// Micro-benchmarks of the hot paths underlying the experiments.
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := DefaultTraceConfig()
+	cfg.VMs = 200
+	cfg.Subscriptions = 20
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateTrace(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerPlace(b *testing.B) {
+	ctx := benchContext()
+	tr, err := ctx.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet := NewFleet(DefaultClusters(50))
+	platform, err := NewPlatform(fleet, DefaultPlatformConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := platform.Train(tr, tr.Horizon/2); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm := &tr.VMs[i%len(tr.VMs)]
+		cvm, err := platform.Request(vm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cvm.ID = 1_000_000 + i // unique id per placement
+		if _, ok := platform.Place(cvm); ok && i%200 == 199 {
+			// Periodically drain to keep the fleet from saturating.
+			b.StopTimer()
+			for j := i - 199; j <= i; j++ {
+				platform.Deallocate(1_000_000 + j)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkMemsimTick(b *testing.B) {
+	srv, err := NewServer(DefaultServerConfig(16, 8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		vm, err := NewVMMemory(i, 8, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.Server.AddVM(vm); err != nil {
+			b.Fatal(err)
+		}
+		vm.SetWSS(4)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Tick(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

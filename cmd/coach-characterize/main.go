@@ -1,0 +1,58 @@
+// Command coach-characterize reproduces the paper's §2 characterization
+// (Figs. 2-12 and 17) on a synthetic trace and prints the figure data.
+//
+// Usage:
+//
+//	coach-characterize [-scale small|medium|full] [-figs fig2,fig8,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/coach-oss/coach/internal/experiments"
+)
+
+var characterizationFigs = []string{
+	"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig17",
+}
+
+func main() {
+	scale := flag.String("scale", "medium", "input scale: small, medium or full")
+	figs := flag.String("figs", "", "comma-separated figure ids (default: all of §2)")
+	flag.Parse()
+
+	s, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	ids := characterizationFigs
+	if *figs != "" {
+		ids = strings.Split(*figs, ",")
+	}
+	ctx := experiments.NewContext(s)
+	for _, id := range ids {
+		e, err := experiments.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		tables, err := e.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coach-characterize:", err)
+	os.Exit(1)
+}

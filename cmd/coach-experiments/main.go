@@ -1,0 +1,77 @@
+// Command coach-experiments runs the registered paper experiments and
+// prints their tables, or regenerates EXPERIMENTS.md with -markdown.
+//
+// Usage:
+//
+//	coach-experiments [-scale small|medium|full] [-run id[,id...]] [-markdown] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/coach-oss/coach/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "input scale: small, medium or full")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	markdown := flag.Bool("markdown", false, "emit Markdown (EXPERIMENTS.md format)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	s, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	ctx := experiments.NewContext(s)
+	for _, e := range selected {
+		if *markdown {
+			fmt.Printf("## %s (`%s`)\n\n**Paper:** %s\n\n", e.Title, e.ID, e.PaperClaim)
+		} else {
+			fmt.Printf("### %s — %s\n", e.ID, e.Title)
+			fmt.Printf("paper: %s\n\n", e.PaperClaim)
+		}
+		tables, err := e.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		for _, t := range tables {
+			if *markdown {
+				err = t.Markdown(os.Stdout)
+			} else {
+				err = t.Render(os.Stdout)
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coach-experiments:", err)
+	os.Exit(1)
+}

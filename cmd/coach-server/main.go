@@ -1,0 +1,51 @@
+// Command coach-server runs the single-server experiments: the PA/VA
+// trade-off (Fig. 15), workload performance across VM configurations
+// (Fig. 18), contention mitigation (Fig. 21) and platform overheads
+// (§4.5).
+//
+// Usage:
+//
+//	coach-server [-scale small|medium|full] [-run fig15,fig18,fig21,sec45]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/coach-oss/coach/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "input scale: small, medium or full")
+	run := flag.String("run", "fig15,fig18,fig21,sec45", "experiments to run")
+	flag.Parse()
+
+	s, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := experiments.NewContext(s)
+	for _, id := range strings.Split(*run, ",") {
+		e, err := experiments.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		tables, err := e.Run(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coach-server:", err)
+	os.Exit(1)
+}

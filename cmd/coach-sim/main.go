@@ -1,0 +1,93 @@
+// Command coach-sim runs the cluster-scale simulation (§4.3): it replays a
+// synthetic trace against a fixed fleet under one or more oversubscription
+// policies and reports placed capacity and performance violations.
+//
+// Usage:
+//
+//	coach-sim [-scale small|medium|full] [-policy None|Single|Coach|AggrCoach|all]
+//	          [-percentile 95] [-windows 6] [-fleet-frac 0.55]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/coach-oss/coach/internal/experiments"
+	"github.com/coach-oss/coach/internal/report"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/scheduler"
+	"github.com/coach-oss/coach/internal/sim"
+	"github.com/coach-oss/coach/internal/timeseries"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "input scale: small, medium or full")
+	policy := flag.String("policy", "all", "None, Single, Coach, AggrCoach or all")
+	percentile := flag.Float64("percentile", 0, "override prediction percentile (0 = policy default)")
+	windows := flag.Int("windows", 6, "time windows per day")
+	fleetFrac := flag.Float64("fleet-frac", 0.55, "fleet capacity as a fraction of peak demand")
+	flag.Parse()
+
+	s, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := experiments.NewContext(s)
+	tr, err := ctx.Trace()
+	if err != nil {
+		fatal(err)
+	}
+	fleet, err := ctx.CapacityFleet(*fleetFrac)
+	if err != nil {
+		fatal(err)
+	}
+
+	policies, err := parsePolicies(*policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("Cluster simulation (%s scale, %d servers, %dx%gh windows)",
+			s, len(fleet.Servers), *windows, 24/float64(*windows)),
+		Headers: []string{"policy", "requested", "placed", "placed %", "oversubscribed",
+			"CPU viol %", "mem viol %", "servers used", "over-alloc mem %", "under-alloc mem %"},
+	}
+	for _, p := range policies {
+		cfg := sim.ConfigForPolicy(p)
+		cfg.Windows = timeseries.Windows{PerDay: *windows}
+		cfg.TrainUpTo = tr.Horizon / 2
+		if *percentile > 0 {
+			cfg.Percentile = *percentile
+		}
+		res, err := sim.Run(tr, fleet, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p, err))
+		}
+		t.AddRow(p.String(), res.Requested, res.Placed, 100*res.PlacedFrac(),
+			res.Oversubscribed, 100*res.CPUViolationFrac(), 100*res.MemViolationFrac(),
+			res.UsedServers, 100*res.MeanOverAllocFrac(resources.Memory),
+			100*res.UnderAllocFrac(resources.Memory))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func parsePolicies(s string) ([]scheduler.PolicyKind, error) {
+	if s == "all" {
+		return scheduler.Policies, nil
+	}
+	for _, p := range scheduler.Policies {
+		if p.String() == s {
+			return []scheduler.PolicyKind{p}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown policy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coach-sim:", err)
+	os.Exit(1)
+}

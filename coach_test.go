@@ -1,0 +1,150 @@
+package coach
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way the quickstart
+// example does: trace -> platform -> train -> request -> place.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.VMs = 150
+	cfg.Subscriptions = 15
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Days() != 14 {
+		t.Errorf("default trace covers %d days, want 14", tr.Days())
+	}
+
+	fleet := NewFleet(DefaultClusters(2))
+	platform, err := NewPlatform(fleet, DefaultPlatformConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := platform.Train(tr, tr.Horizon/2); err != nil {
+		t.Fatal(err)
+	}
+	placed := 0
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.End <= tr.Horizon/2 {
+			continue
+		}
+		cvm, err := platform.Request(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := platform.Place(cvm); ok {
+			placed++
+		}
+	}
+	if placed == 0 {
+		t.Fatal("public API placed nothing")
+	}
+}
+
+func TestTraceSaveLoadViaFacade(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.VMs = 20
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs) != 20 {
+		t.Error("roundtrip lost VMs")
+	}
+}
+
+func TestServerFacade(t *testing.T) {
+	srv, err := NewServer(DefaultServerConfig(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVMMemory(1, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Server.AddVM(vm); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := WorkloadByName("Cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.VMSizeGB, spec.WSSGB, spec.PhaseAmpGB = 8, 4, 0
+	run, err := NewWorkloadRunner(spec, vm, DefaultMemoryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		run.Step(1)
+		st, err := srv.Tick(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run.Record(st[1])
+	}
+	if run.Ticks() != 30 {
+		t.Errorf("runner recorded %d ticks", run.Ticks())
+	}
+}
+
+func TestWorkloadsFacade(t *testing.T) {
+	if len(Workloads()) != 9 {
+		t.Error("Workloads() must return the Table 2 suite")
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Error("unknown workload must fail")
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.VMs = 120
+	cfg.Subscriptions = 12
+	tr, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewFleet(DefaultClusters(1))
+	simCfg := SimConfigForPolicy(PolicyCoach)
+	simCfg.TrainUpTo = tr.Horizon / 2
+	res, err := Simulate(tr, fleet, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requested == 0 {
+		t.Error("simulation saw no requests")
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	infos := Experiments()
+	if len(infos) < 20 {
+		t.Errorf("only %d experiments registered", len(infos))
+	}
+	tables, err := RunExperiment("tab1", "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 10 {
+		t.Error("tab1 must render the 10-row fungibility table")
+	}
+	if _, err := RunExperiment("nope", "small"); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if _, err := RunExperiment("tab1", "gigantic"); err == nil {
+		t.Error("unknown scale must fail")
+	}
+}

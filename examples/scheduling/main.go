@@ -1,0 +1,58 @@
+// Scheduling policy comparison: replay one trace against the same fixed
+// fleet under all four oversubscription policies (None, Single, Coach,
+// AggrCoach) and compare hosted capacity against performance violations —
+// the trade-off of the paper's Fig. 20.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	coach "github.com/coach-oss/coach"
+)
+
+func main() {
+	cfg := coach.DefaultTraceConfig()
+	cfg.VMs = 1500
+	cfg.Subscriptions = 80
+	tr, err := coach.GenerateTrace(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A deliberately tight fleet: policies differentiate by how many of
+	// the arriving VMs they manage to host.
+	fleet := coach.NewFleet(coach.DefaultClusters(1))
+	fmt.Printf("fleet: %d servers, capacity %v\n\n",
+		len(fleet.Servers), fleet.TotalCapacity())
+
+	table := &coach.Table{
+		Title: "Oversubscription policy comparison",
+		Headers: []string{"policy", "placed", "placed %", "+capacity vs None %",
+			"CPU viol %", "mem viol %"},
+	}
+	var nonePlaced int
+	for _, p := range []coach.PolicyKind{
+		coach.PolicyNone, coach.PolicySingle, coach.PolicyCoach, coach.PolicyAggrCoach,
+	} {
+		simCfg := coach.SimConfigForPolicy(p)
+		simCfg.TrainUpTo = tr.Horizon / 2
+		res, err := coach.Simulate(tr, fleet, simCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p == coach.PolicyNone {
+			nonePlaced = res.Placed
+		}
+		gain := 0.0
+		if nonePlaced > 0 {
+			gain = 100 * float64(res.Placed-nonePlaced) / float64(nonePlaced)
+		}
+		table.AddRow(p.String(), res.Placed, 100*res.PlacedFrac(), gain,
+			100*res.CPUViolationFrac(), 100*res.MemViolationFrac())
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package characterize reproduces the paper's §2 characterization of VM
+// resource utilization: resource hours by duration and size (Figs. 2-3),
+// stranding and bottlenecks (Figs. 4-5), utilization statistics and
+// temporal patterns (Figs. 6-9), complementary-pattern savings
+// (Figs. 10-11), grouping predictability (Fig. 12) and the
+// packing-vs-performance percentile trade-off (Fig. 17).
+//
+// Every analysis is a pure function over a trace (plus a fleet where
+// placement matters), so the same code serves tests, benchmarks, examples
+// and the experiment harness.
+package characterize
+
+import (
+	"sort"
+	"time"
+
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/timeseries"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// DurationThresholds are Fig. 2's x-axis values.
+var DurationThresholds = []time.Duration{
+	5 * time.Minute,
+	30 * time.Minute,
+	time.Hour,
+	2 * time.Hour,
+	6 * time.Hour,
+	12 * time.Hour,
+	24 * time.Hour,
+	48 * time.Hour,
+	96 * time.Hour,
+	7 * 24 * time.Hour,
+}
+
+// DurationRow is one Fig. 2 data point: the share of resource hours and of
+// VM count held by VMs lasting longer than Threshold.
+type DurationRow struct {
+	Threshold   time.Duration
+	CPUHoursPct float64
+	MemHoursPct float64
+	VMsPct      float64
+}
+
+// DurationHours computes Fig. 2: the percentage of core-hours, GB-hours
+// and VMs contributed by VMs lasting more than each threshold.
+func DurationHours(tr *trace.Trace) []DurationRow {
+	var totalCPU, totalMem float64
+	for i := range tr.VMs {
+		totalCPU += tr.VMs[i].ResourceHours(resources.CPU)
+		totalMem += tr.VMs[i].ResourceHours(resources.Memory)
+	}
+	total := float64(len(tr.VMs))
+	out := make([]DurationRow, len(DurationThresholds))
+	for ti, th := range DurationThresholds {
+		row := DurationRow{Threshold: th}
+		var cpu, mem, n float64
+		for i := range tr.VMs {
+			vm := &tr.VMs[i]
+			if vm.Duration() > th {
+				cpu += vm.ResourceHours(resources.CPU)
+				mem += vm.ResourceHours(resources.Memory)
+				n++
+			}
+		}
+		if totalCPU > 0 {
+			row.CPUHoursPct = 100 * cpu / totalCPU
+		}
+		if totalMem > 0 {
+			row.MemHoursPct = 100 * mem / totalMem
+		}
+		if total > 0 {
+			row.VMsPct = 100 * n / total
+		}
+		out[ti] = row
+	}
+	return out
+}
+
+// SizeRow is one Fig. 3 data point: the share of resource hours and VM
+// count held by VMs at least as large as Threshold (cores or GB).
+type SizeRow struct {
+	Threshold float64
+	HoursPct  float64
+	VMsPct    float64
+}
+
+// SizeHours computes Fig. 3 for one resource kind: thresholds over the VM
+// size in that resource's unit; each row reports the share of that
+// resource's hours (and of VMs) from VMs with size >= threshold.
+func SizeHours(tr *trace.Trace, k resources.Kind, thresholds []float64) []SizeRow {
+	var totalHours float64
+	for i := range tr.VMs {
+		totalHours += tr.VMs[i].ResourceHours(k)
+	}
+	total := float64(len(tr.VMs))
+	out := make([]SizeRow, len(thresholds))
+	for ti, th := range thresholds {
+		row := SizeRow{Threshold: th}
+		var hours, n float64
+		for i := range tr.VMs {
+			vm := &tr.VMs[i]
+			if vm.Alloc[k] >= th {
+				hours += vm.ResourceHours(k)
+				n++
+			}
+		}
+		if totalHours > 0 {
+			row.HoursPct = 100 * hours / totalHours
+		}
+		if total > 0 {
+			row.VMsPct = 100 * n / total
+		}
+		out[ti] = row
+	}
+	return out
+}
+
+// CoreThresholds and MemThresholds are Fig. 3's x-axes.
+var (
+	CoreThresholds = []float64{1, 2, 4, 8, 16, 32, 40}
+	MemThresholds  = []float64{4, 8, 16, 32, 64, 128, 256, 512}
+)
+
+// MedianVMSize returns the median cores and memory across VMs (§2.1:
+// "The median VM in our study has 4 cores and less than 16GB").
+func MedianVMSize(tr *trace.Trace) (cores, memGB float64) {
+	if len(tr.VMs) == 0 {
+		return 0, 0
+	}
+	cs := make([]float64, 0, len(tr.VMs))
+	ms := make([]float64, 0, len(tr.VMs))
+	for i := range tr.VMs {
+		cs = append(cs, tr.VMs[i].Cores())
+		ms = append(ms, tr.VMs[i].MemoryGB())
+	}
+	return median(cs), median(ms)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// evalSamplesPerStep is the stride used by per-timestamp fleet analyses
+// (hourly rather than every 5 minutes, for tractability).
+const evalSamplesPerStep = timeseries.SamplesPerHour

@@ -1,0 +1,236 @@
+package characterize
+
+import (
+	"sort"
+
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// OversubLevel selects which resources the hypothetical-stranding analysis
+// may reclaim from underutilization (Fig. 4: No Oversub / CPU Only /
+// CPU+Memory).
+type OversubLevel int
+
+const (
+	// NoOversub places hypothetical VMs against allocated resources only.
+	NoOversub OversubLevel = iota
+	// CPUOnly additionally reclaims underutilized CPU.
+	CPUOnly
+	// CPUMem reclaims underutilized CPU and memory.
+	CPUMem
+)
+
+func (l OversubLevel) String() string {
+	switch l {
+	case NoOversub:
+		return "No Oversub"
+	case CPUOnly:
+		return "CPU Only"
+	case CPUMem:
+		return "CPU+Memory"
+	default:
+		return "OversubLevel?"
+	}
+}
+
+// OversubLevels lists the Fig. 4 configurations in order.
+var OversubLevels = []OversubLevel{NoOversub, CPUOnly, CPUMem}
+
+// HypotheticalVM is the probe used by the stranding analysis: the most
+// typical VM configuration, 4GB/core general purpose (§2.2, Azure
+// D-series), at 2 cores.
+var HypotheticalVM = resources.NewVector(2, 8, 1, 64)
+
+// StrandingResult aggregates the stranding analysis.
+type StrandingResult struct {
+	// StrandedPct[l][k] is the average percentage of resource k's
+	// capacity left stranded under oversubscription level l (Fig. 4).
+	StrandedPct [3]resources.Vector
+	// BottleneckPct[l][c][k] is the percentage of time resource k is the
+	// allocation bottleneck in cluster c (Fig. 5). Index c == number of
+	// clusters holds the ALL aggregate.
+	BottleneckPct [3][]resources.Vector
+}
+
+// placement tracks the first-fit assignment of trace VMs to servers used
+// to establish realistic occupancy before probing with hypothetical VMs.
+type placement struct {
+	fleet    *cluster.Fleet
+	byServer [][]*trace.VM // placed VMs per server
+	assigned map[int]int   // vm ID -> server index
+}
+
+// newPlacement assigns each cluster's VMs to that cluster's servers
+// first-fit by allocation at arrival time. VMs that do not fit anywhere in
+// their home cluster are dropped (the real trace only contains VMs that
+// fit, so overflow is an artifact of the down-scaled fleet).
+func newPlacement(tr *trace.Trace, fleet *cluster.Fleet) *placement {
+	p := &placement{
+		fleet:    fleet,
+		byServer: make([][]*trace.VM, len(fleet.Servers)),
+		assigned: make(map[int]int),
+	}
+	// Per-server free allocation over time is tracked by replaying
+	// arrivals in start order and removing departed VMs lazily.
+	type srvState struct {
+		free resources.Vector
+		vms  []*trace.VM
+	}
+	states := make([]srvState, len(fleet.Servers))
+	serversOfCluster := make(map[int][]int)
+	for i := range fleet.Servers {
+		states[i].free = fleet.Servers[i].Capacity()
+		serversOfCluster[fleet.Servers[i].Cluster] = append(serversOfCluster[fleet.Servers[i].Cluster], i)
+	}
+
+	order := make([]*trace.VM, 0, len(tr.VMs))
+	for i := range tr.VMs {
+		order = append(order, &tr.VMs[i])
+	}
+	sortVMsByStart(order)
+
+	for _, vm := range order {
+		ci := vm.Cluster % len(fleet.Clusters)
+		for _, si := range serversOfCluster[ci] {
+			st := &states[si]
+			// Lazily release departed VMs.
+			live := st.vms[:0]
+			for _, old := range st.vms {
+				if old.End <= vm.Start {
+					st.free = st.free.Add(old.Alloc)
+				} else {
+					live = append(live, old)
+				}
+			}
+			st.vms = live
+			if vm.Alloc.FitsIn(st.free) {
+				st.free = st.free.Sub(vm.Alloc)
+				st.vms = append(st.vms, vm)
+				p.byServer[si] = append(p.byServer[si], vm)
+				p.assigned[vm.ID] = si
+				break
+			}
+		}
+	}
+	return p
+}
+
+func sortVMsByStart(vms []*trace.VM) {
+	sort.SliceStable(vms, func(i, j int) bool {
+		if vms[i].Start != vms[j].Start {
+			return vms[i].Start < vms[j].Start
+		}
+		return vms[i].ID < vms[j].ID
+	})
+}
+
+// allocatedAt returns the total allocation and utilized demand of server
+// si's VMs at trace sample t.
+func (p *placement) allocatedAt(si, t int) (alloc, used resources.Vector) {
+	for _, vm := range p.byServer[si] {
+		if vm.AliveAt(t) {
+			alloc = alloc.Add(vm.Alloc)
+			used = used.Add(vm.DemandAt(t))
+		}
+	}
+	return alloc, used
+}
+
+// Stranding reproduces Figs. 4 and 5: at each (hourly) timestamp it packs
+// hypothetical 4GB/core VMs into every server's free resources — free
+// meaning unallocated, plus underutilized CPU (and memory) at the higher
+// oversubscription levels — and measures what remains stranded and which
+// resource blocked further placement.
+func Stranding(tr *trace.Trace, fleet *cluster.Fleet) *StrandingResult {
+	p := newPlacement(tr, fleet)
+	res := &StrandingResult{}
+	nc := len(fleet.Clusters)
+	for l := range OversubLevels {
+		res.BottleneckPct[l] = make([]resources.Vector, nc+1)
+	}
+
+	var strandSum [3]resources.Vector
+	var capSum resources.Vector
+	bottleneckCount := make([][3]map[resources.Kind]int, nc+1)
+	steps := 0
+	for i := range bottleneckCount {
+		for l := range OversubLevels {
+			bottleneckCount[i][l] = make(map[resources.Kind]int)
+		}
+	}
+
+	for t := 0; t < tr.Horizon; t += evalSamplesPerStep {
+		steps++
+		for si := range fleet.Servers {
+			srv := &fleet.Servers[si]
+			cap := srv.Capacity()
+			alloc, used := p.allocatedAt(si, t)
+			for li, level := range OversubLevels {
+				free := cap.Sub(alloc)
+				// Oversubscription reclaims underutilized (allocated but
+				// unused) resources for new placements.
+				if level == CPUOnly || level == CPUMem {
+					free[resources.CPU] = cap[resources.CPU] - used[resources.CPU]
+				}
+				if level == CPUMem {
+					free[resources.Memory] = cap[resources.Memory] - used[resources.Memory]
+				}
+				free = free.ClampNonNegative()
+				stranded, bottleneck := packHypothetical(free)
+				strandSum[li] = strandSum[li].Add(stranded)
+				bottleneckCount[srv.Cluster][li][bottleneck]++
+				bottleneckCount[nc][li][bottleneck]++
+			}
+			capSum = capSum.Add(cap)
+		}
+	}
+
+	for li := range OversubLevels {
+		for _, k := range resources.Kinds {
+			if capSum[k] > 0 {
+				res.StrandedPct[li][k] = 100 * strandSum[li][k] / capSum[k]
+			}
+		}
+		for c := 0; c <= nc; c++ {
+			var total int
+			for _, n := range bottleneckCount[c][li] {
+				total += n
+			}
+			if total == 0 {
+				continue
+			}
+			for _, k := range resources.Kinds {
+				res.BottleneckPct[li][c][k] = 100 * float64(bottleneckCount[c][li][k]) / float64(total)
+			}
+		}
+	}
+	return res
+}
+
+// packHypothetical fills free with as many HypotheticalVM units as fit and
+// returns the remaining (stranded) resources and the bottleneck kind — the
+// resource that ran out first.
+func packHypothetical(free resources.Vector) (stranded resources.Vector, bottleneck resources.Kind) {
+	// The number of probe VMs that fit is limited by the scarcest
+	// resource relative to the probe's shape.
+	units := -1.0
+	bottleneck = resources.CPU
+	for _, k := range resources.Kinds {
+		if HypotheticalVM[k] <= 0 {
+			continue
+		}
+		u := free[k] / HypotheticalVM[k]
+		if units < 0 || u < units {
+			units = u
+			bottleneck = k
+		}
+	}
+	if units < 0 {
+		units = 0
+	}
+	fit := float64(int(units)) // whole VMs only
+	stranded = free.Sub(HypotheticalVM.Scale(fit)).ClampNonNegative()
+	return stranded, bottleneck
+}

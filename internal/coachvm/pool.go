@@ -1,0 +1,177 @@
+package coachvm
+
+import (
+	"fmt"
+
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/timeseries"
+)
+
+// Pool tracks one server's guaranteed and multiplexed oversubscribed
+// demand across CoachVMs. It is the server-manager bookkeeping of §3.3
+// ("The server manager stores the VA-demand in each time window for each
+// VM. It recomputes the multiplexed demand when it (de)allocates VMs and
+// adjusts the oversubscribed portion accordingly.").
+//
+// Feasibility is the (windows + 1)-dimensional check of §3.3: per
+// resource, the summed per-window scheduling demand must fit the capacity
+// in every window, and — for non-fungible resources only — the summed
+// static guaranteed portions must fit as well.
+type Pool struct {
+	windows  timeseries.Windows
+	capacity resources.Vector
+
+	// guaranteed is the sum of members' guaranteed portions (formula 3).
+	guaranteed resources.Vector
+	// demandSum[k][t] is the sum of members' scheduling demand in window
+	// t (guaranteed + VA for non-fungible kinds; predicted per-window
+	// utilization for fungible kinds).
+	demandSum [resources.NumKinds][]float64
+
+	members map[int]*CVM
+}
+
+// NewPool creates an empty pool for a server of the given capacity.
+func NewPool(capacity resources.Vector, w timeseries.Windows) *Pool {
+	p := &Pool{windows: w, capacity: capacity, members: make(map[int]*CVM)}
+	for _, k := range resources.Kinds {
+		p.demandSum[k] = make([]float64, w.PerDay)
+	}
+	return p
+}
+
+// Capacity returns the server capacity the pool manages.
+func (p *Pool) Capacity() resources.Vector { return p.capacity }
+
+// Windows returns the time-window configuration.
+func (p *Pool) Windows() timeseries.Windows { return p.windows }
+
+// Len returns the number of member VMs.
+func (p *Pool) Len() int { return len(p.members) }
+
+// Members returns the member VMs keyed by ID (shared map: do not mutate).
+func (p *Pool) Members() map[int]*CVM { return p.members }
+
+// Guaranteed returns the summed guaranteed portions (formula 3).
+func (p *Pool) Guaranteed() resources.Vector { return p.guaranteed }
+
+// DemandAt returns the summed scheduling demand of resource k in window t.
+func (p *Pool) DemandAt(k resources.Kind, t int) float64 { return p.demandSum[k][t] }
+
+// Oversubscribed returns, per resource, the multiplexed oversubscribed
+// pool size: the max across windows of the summed VA demands (formula 4).
+func (p *Pool) Oversubscribed() resources.Vector {
+	var out resources.Vector
+	for _, k := range resources.Kinds {
+		var m float64
+		for t := 0; t < p.windows.PerDay; t++ {
+			var sum float64
+			for _, vm := range p.members {
+				sum += vm.VADemand[k][t]
+			}
+			if sum > m {
+				m = sum
+			}
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// Backed returns, per resource, the peak summed scheduling demand across
+// windows: the physical resources the server must actually reserve. For
+// memory this equals guaranteed + oversubscribed (formulas 3 + 4).
+func (p *Pool) Backed() resources.Vector {
+	var out resources.Vector
+	for _, k := range resources.Kinds {
+		for _, s := range p.demandSum[k] {
+			if s > out[k] {
+				out[k] = s
+			}
+		}
+	}
+	return out
+}
+
+// Free returns capacity - Backed, the room left for further VMs.
+func (p *Pool) Free() resources.Vector {
+	return p.capacity.Sub(p.Backed()).ClampNonNegative()
+}
+
+// Fits reports whether adding vm would keep the pool feasible.
+func (p *Pool) Fits(vm *CVM) bool {
+	if vm.Pred.Windows != p.windows {
+		return false
+	}
+	for _, k := range resources.Kinds {
+		if resources.KindFungibility(k) == resources.NonFungible {
+			if p.guaranteed[k]+vm.Guaranteed[k] > p.capacity[k]+1e-9 {
+				return false
+			}
+		}
+		for t := 0; t < p.windows.PerDay; t++ {
+			if p.demandSum[k][t]+vm.SchedDemand(k, t) > p.capacity[k]+1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Add inserts vm into the pool. It returns an error when the VM does not
+// fit or its ID is already present; the pool is unchanged on error.
+func (p *Pool) Add(vm *CVM) error {
+	if _, ok := p.members[vm.ID]; ok {
+		return fmt.Errorf("coachvm: vm %d already in pool", vm.ID)
+	}
+	if !p.Fits(vm) {
+		return fmt.Errorf("coachvm: vm %d does not fit in pool", vm.ID)
+	}
+	p.members[vm.ID] = vm
+	p.guaranteed = p.guaranteed.Add(vm.Guaranteed)
+	for _, k := range resources.Kinds {
+		for t := 0; t < p.windows.PerDay; t++ {
+			p.demandSum[k][t] += vm.SchedDemand(k, t)
+		}
+	}
+	return nil
+}
+
+// Remove deletes the VM with the given ID, returning it (nil if absent).
+func (p *Pool) Remove(id int) *CVM {
+	vm, ok := p.members[id]
+	if !ok {
+		return nil
+	}
+	delete(p.members, id)
+	p.guaranteed = p.guaranteed.Sub(vm.Guaranteed).ClampNonNegative()
+	for _, k := range resources.Kinds {
+		for t := 0; t < p.windows.PerDay; t++ {
+			p.demandSum[k][t] -= vm.SchedDemand(k, t)
+			if p.demandSum[k][t] < 0 {
+				p.demandSum[k][t] = 0
+			}
+		}
+	}
+	return vm
+}
+
+// MultiplexSavings returns, per resource, the amount saved by multiplexing
+// the VA demands across windows instead of summing their peaks: sum over
+// VMs of max_t VA_i,t minus max_t sum over VMs VA_i,t. This is the
+// "Multiplex Saved" quantity illustrated in Fig. 16b.
+func (p *Pool) MultiplexSavings() resources.Vector {
+	var naive resources.Vector
+	for _, vm := range p.members {
+		for _, k := range resources.Kinds {
+			var m float64
+			for _, d := range vm.VADemand[k] {
+				if d > m {
+					m = d
+				}
+			}
+			naive[k] += m
+		}
+	}
+	return naive.Sub(p.Oversubscribed()).ClampNonNegative()
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/scheduler"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+func testTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultGenConfig()
+	cfg.VMs = 200
+	cfg.Subscriptions = 20
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestClusterManagerLifecycle(t *testing.T) {
+	tr := testTrace(t)
+	fleet := cluster.NewFleet(cluster.DefaultClusters(2))
+	m, err := NewClusterManager(fleet, DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(tr, tr.Horizon/2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Model() == nil {
+		t.Fatal("no model after Train")
+	}
+
+	placed := 0
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.End <= tr.Horizon/2 {
+			continue
+		}
+		cvm, err := m.Request(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cvm.Guaranteed.FitsIn(vm.Alloc) {
+			t.Fatalf("guaranteed %v exceeds allocation %v", cvm.Guaranteed, vm.Alloc)
+		}
+		if _, ok := m.Place(cvm); ok {
+			placed++
+		}
+	}
+	if placed == 0 {
+		t.Fatal("nothing placed")
+	}
+	if m.Scheduler().Placed() != placed {
+		t.Error("scheduler bookkeeping inconsistent")
+	}
+
+	// Deallocate everything; the fleet must drain.
+	for i := range tr.VMs {
+		m.Deallocate(tr.VMs[i].ID)
+	}
+	if m.Scheduler().Placed() != 0 {
+		t.Error("deallocation left VMs behind")
+	}
+}
+
+func TestClusterManagerDefaults(t *testing.T) {
+	fleet := cluster.NewFleet(cluster.DefaultClusters(1))
+	m, err := NewClusterManager(fleet, ClusterConfig{Policy: scheduler.PolicyCoach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without training, requests must fall back to fully guaranteed.
+	vm := &trace.VM{ID: 1, Alloc: resources.NewVector(4, 16, 2, 128)}
+	cvm, err := m.Request(vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvm.Guaranteed != vm.Alloc {
+		t.Error("untrained manager must fully guarantee")
+	}
+}
+
+func TestServerManager(t *testing.T) {
+	sm, err := NewServerManager(DefaultServerConfig(8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrace(t)
+	fleet := cluster.NewFleet(cluster.DefaultClusters(1))
+	m, err := NewClusterManager(fleet, DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(tr, tr.Horizon/2); err != nil {
+		t.Fatal(err)
+	}
+	var attached int
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.MemoryGB() > 16 {
+			continue
+		}
+		cvm, err := m.Request(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem, err := sm.Attach(cvm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem.SetWSS(vm.MemoryGB() * 0.5)
+		attached++
+		if attached == 2 {
+			break
+		}
+	}
+	if attached != 2 {
+		t.Fatal("could not attach two VMs")
+	}
+	for i := 0; i < 30; i++ {
+		st, err := sm.Tick(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st) != 2 {
+			t.Fatalf("tick stats for %d VMs, want 2", len(st))
+		}
+	}
+}

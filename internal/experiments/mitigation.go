@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/coach-oss/coach/internal/agent"
+	"github.com/coach-oss/coach/internal/memsim"
+	"github.com/coach-oss/coach/internal/report"
+	"github.com/coach-oss/coach/internal/workload"
+)
+
+// The Fig. 21 storyline (§4.4): three 8GB CoachVMs share a server —
+// Cache (3GB PA / 5GB VA), KV-Store (3GB PA / 5GB VA) and Video Conf
+// (1GB PA / 7GB VA) — over an oversubscribed pool. Video Conf uses more
+// memory than predicted, causing two contentions: the first is resolvable
+// by trimming cold memory; the second exceeds the available cold memory
+// and requires extending the pool or migrating a VM.
+const (
+	fig21PoolGB    = 8.0
+	fig21UnallocGB = 8.0
+	fig21Duration  = 330 // seconds
+
+	cacheID = 1
+	kvID    = 2
+	vcID    = 3
+)
+
+// fig21Policy names one mitigation configuration of the experiment.
+type fig21Policy struct {
+	name   string
+	policy agent.Policy
+	mode   agent.Mode
+}
+
+func fig21Policies() []fig21Policy {
+	return []fig21Policy{
+		{"None", agent.PolicyNone, agent.Reactive},
+		{"Trim-Reactive", agent.PolicyTrim, agent.Reactive},
+		{"Trim-Proactive", agent.PolicyTrim, agent.Proactive},
+		{"Extend-Reactive", agent.PolicyExtend, agent.Reactive},
+		{"Extend-Proactive", agent.PolicyExtend, agent.Proactive},
+		{"Migrate-Reactive", agent.PolicyMigrate, agent.Reactive},
+		{"Migrate-Proactive", agent.PolicyMigrate, agent.Proactive},
+	}
+}
+
+// vcWSS drives Video Conf's working set: steady at 3GB after a small
+// warmup bump (leaving ~0.5GB of its own cold memory), then two growth
+// ramps — to 5GB starting at t=135 (first contention, resolvable by
+// trimming the colocated VMs' cold memory) and to 7GB starting at t=255
+// (second contention, exceeding all remaining cold memory).
+func vcWSS(t float64) float64 {
+	switch {
+	case t < 5:
+		return 2.5
+	case t < 25: // warmup bump: touch extra memory, then release it
+		return 3.5
+	case t < 135:
+		return 3
+	case t < 165: // first contention: ramp 3 -> 5.5
+		return 3 + 2.5*(t-135)/30
+	case t < 255:
+		return 5.5
+	case t < 285: // second contention: ramp 5.5 -> 7.5
+		return 5.5 + 2*(t-255)/30
+	default:
+		return 7.5
+	}
+}
+
+// cacheKVWSS drives Cache and KV-Store: steady 4GB working sets with a
+// warmup overshoot (after Video Conf settles) that leaves 1GB of cold
+// memory each — the reserve the Trim policy lives off.
+func cacheKVWSS(t float64) float64 {
+	switch {
+	case t < 5:
+		return 3.5
+	case t < 30:
+		return 4
+	case t < 60:
+		return 5
+	default:
+		return 4
+	}
+}
+
+// fig21Run holds one policy's time series.
+type fig21Run struct {
+	name      string
+	poolAvail []float64 // per second
+	cacheSlow []float64
+	kvSlow    []float64
+	agent     *agent.Agent
+}
+
+func runFig21Policy(p fig21Policy) (*fig21Run, error) {
+	return runFig21PolicyWithInterval(p, 0)
+}
+
+// runFig21PolicyWithInterval runs the storyline with an overridden agent
+// monitoring interval (0 = the §3.4 default of 20 seconds).
+func runFig21PolicyWithInterval(p fig21Policy, monitorIntervalS float64) (*fig21Run, error) {
+	cfg := memsim.DefaultConfig()
+	srv := memsim.NewServer(cfg, fig21PoolGB, fig21UnallocGB)
+
+	mk := func(id int, pa float64) (*memsim.VMMem, error) {
+		vm, err := memsim.NewVMMem(id, 8, pa)
+		if err != nil {
+			return nil, err
+		}
+		return vm, srv.AddVM(vm)
+	}
+	cacheVM, err := mk(cacheID, 3)
+	if err != nil {
+		return nil, err
+	}
+	kvVM, err := mk(kvID, 3)
+	if err != nil {
+		return nil, err
+	}
+	vcVM, err := mk(vcID, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	cacheSpec, err := workload.SpecByName("Cache")
+	if err != nil {
+		return nil, err
+	}
+	kvSpec, err := workload.SpecByName("KV-Store")
+	if err != nil {
+		return nil, err
+	}
+	// The Fig. 21 instances are 8GB CVMs with ~4GB working sets; the
+	// phase pattern is driven explicitly by the storyline.
+	for _, s := range []*workload.Spec{&cacheSpec, &kvSpec} {
+		s.VMSizeGB = 8
+		s.WSSGB = 4
+		s.PhaseAmpGB = 0
+		s.ChurnGBs = 0
+	}
+	cacheRun, err := workload.NewRunner(cacheSpec, cacheVM, cfg)
+	if err != nil {
+		return nil, err
+	}
+	kvRun, err := workload.NewRunner(kvSpec, kvVM, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	aCfg := agent.DefaultConfig()
+	aCfg.Policy = p.policy
+	aCfg.Mode = p.mode
+	if monitorIntervalS > 0 {
+		aCfg.MonitorIntervalS = monitorIntervalS
+	}
+	// The pool runs intentionally full in this storyline; mitigations aim
+	// at pending demand rather than permanent headroom.
+	aCfg.HeadroomGB = 0.25
+	ag, err := agent.New(aCfg, srv)
+	if err != nil {
+		return nil, err
+	}
+
+	run := &fig21Run{name: p.name, agent: ag}
+	cacheBase := cacheRun.BaselineOpNs()
+	kvBase := kvRun.BaselineOpNs()
+	for t := 0; t < fig21Duration; t++ {
+		now := float64(t)
+		cacheVM.SetWSS(cacheKVWSS(now))
+		kvVM.SetWSS(cacheKVWSS(now))
+		if srv.VM(vcID) != nil { // may have been migrated away
+			vcVM.SetWSS(vcWSS(now))
+		}
+		st, err := srv.Tick(1)
+		if err != nil {
+			return nil, fmt.Errorf("fig21 %s t=%d: %w", p.name, t, err)
+		}
+		ag.Tick(1, st)
+
+		run.poolAvail = append(run.poolAvail, srv.PoolFree())
+		run.cacheSlow = append(run.cacheSlow, cacheRun.TickSlowdown(st[cacheID], cacheBase))
+		run.kvSlow = append(run.kvSlow, kvRun.TickSlowdown(st[kvID], kvBase))
+	}
+	return run, nil
+}
+
+func runFig21(c *Context) ([]*report.Table, error) {
+	var runs []*fig21Run
+	for _, p := range fig21Policies() {
+		run, err := runFig21Policy(p)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+
+	sample := []int{0, 30, 90, 135, 145, 155, 165, 180, 240, 260, 270, 280, 290, 300, 315, 329}
+	headers := []string{"t (s)"}
+	for _, r := range runs {
+		headers = append(headers, r.name)
+	}
+
+	avail := &report.Table{Title: "Available oversubscribed memory (GB) over time", Headers: headers}
+	cache := &report.Table{Title: "Cache normalized P99 slowdown over time", Headers: headers}
+	kv := &report.Table{Title: "KV-Store normalized P99 slowdown over time", Headers: headers}
+	for _, t := range sample {
+		ra := []any{t}
+		rc := []any{t}
+		rk := []any{t}
+		for _, r := range runs {
+			ra = append(ra, r.poolAvail[t])
+			rc = append(rc, r.cacheSlow[t])
+			rk = append(rk, r.kvSlow[t])
+		}
+		avail.AddRow(ra...)
+		cache.AddRow(rc...)
+		kv.AddRow(rk...)
+	}
+
+	summary := &report.Table{
+		Title: "Mitigation summary (cache VM)",
+		Headers: []string{"policy", "peak slowdown", "mean 1st contention", "mean 2nd contention",
+			"final pool avail GB", "trims", "extends", "migrations"},
+	}
+	window := func(r *fig21Run, from, to int) (peak, mean float64) {
+		var sum float64
+		for t := from; t < to; t++ {
+			if r.cacheSlow[t] > peak {
+				peak = r.cacheSlow[t]
+			}
+			sum += r.cacheSlow[t]
+		}
+		return peak, sum / float64(to-from)
+	}
+	for _, r := range runs {
+		peak, _ := window(r, 135, fig21Duration)
+		_, c1 := window(r, 135, 255)
+		_, c2 := window(r, 255, fig21Duration)
+		summary.AddRow(r.name, peak, c1, c2, r.poolAvail[fig21Duration-1],
+			r.agent.TrimsStarted, r.agent.ExtendsStarted, r.agent.MigrationsStarted)
+	}
+	return []*report.Table{avail, cache, kv, summary}, nil
+}

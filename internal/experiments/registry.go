@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/coach-oss/coach/internal/report"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the registry key, e.g. "fig20".
+	ID string
+	// Title is the paper artifact it regenerates.
+	Title string
+	// PaperClaim summarizes the shape the paper reports, against which
+	// EXPERIMENTS.md compares the measured output.
+	PaperClaim string
+	// Run produces one table per panel.
+	Run func(*Context) ([]*report.Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by ID (figures first,
+// then tables, then ablations, each numerically).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// idLess orders experiment IDs: figN < tabN < secN < abl-*, numerically
+// within each class.
+func idLess(a, b string) bool {
+	ca, na := classify(a)
+	cb, nb := classify(b)
+	if ca != cb {
+		return ca < cb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func classify(id string) (class, num int) {
+	var n int
+	switch {
+	case len(id) > 3 && id[:3] == "fig":
+		fmt.Sscanf(id[3:], "%d", &n)
+		return 0, n
+	case len(id) > 3 && id[:3] == "tab":
+		fmt.Sscanf(id[3:], "%d", &n)
+		return 1, n
+	case len(id) > 3 && id[:3] == "sec":
+		fmt.Sscanf(id[3:], "%d", &n)
+		return 2, n
+	default:
+		return 3, 0
+	}
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/coach-oss/coach/internal/agent"
+	"github.com/coach-oss/coach/internal/memsim"
+	"github.com/coach-oss/coach/internal/report"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/stats"
+	"github.com/coach-oss/coach/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Fig. 15: PA/VA trade-off for a 32GB CoachVM with an 18GB working set",
+		PaperClaim: "Slowdown is minimal while PA covers most of the working set " +
+			"(bottom-right), grows once PA < 16GB, and configurations with " +
+			"PA+VA below the working set page continuously (red); a 16GB-PA/" +
+			"16GB-VA split backed at 70% saves 4GB",
+		Run: runFig15,
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Fig. 18: workload performance across VM configurations",
+		PaperClaim: "OVM degrades tail-latency workloads up to ~2.4x; CVM stays " +
+			"within ~10% everywhere; CVM-Floor degrades small-working-set tail " +
+			"workloads (Cache, KV-Store) up to ~1.8x; LLM-FT is the most " +
+			"sensitive non-tail workload (~1.24x)",
+		Run: runFig18,
+	})
+	register(Experiment{
+		ID:    "fig21",
+		Title: "Fig. 21: mitigation policies during two memory contentions",
+		PaperClaim: "None never recovers; Trim resolves contention 1 only; Extend " +
+			"resolves contention 2 fastest; Migrate resolves it slower; Proactive " +
+			"variants trigger earlier and cap slowdown lower than Reactive " +
+			"(~1.3x vs up to ~4.3x unmitigated)",
+		Run: runFig21,
+	})
+	register(Experiment{
+		ID:         "tab1",
+		Title:      "Table 1: resource fungibility and sharing mechanisms",
+		PaperClaim: "CPU/bandwidth/power are fungible; memory space, local storage, SR-IOV and GPU are not",
+		Run:        runTab1,
+	})
+	register(Experiment{
+		ID:         "tab2",
+		Title:      "Table 2: evaluated cloud workloads",
+		PaperClaim: "Nine workloads spanning tail-latency, run-time and throughput metrics",
+		Run:        runTab2,
+	})
+}
+
+// runSteadyState runs a single VM with a static working set for the given
+// number of 1-second ticks and returns its mean slowdown.
+func runSteadyState(paGB, vaGB, wssGB float64, poolGB float64, ticks int) (float64, error) {
+	cfg := memsim.DefaultConfig()
+	srv := memsim.NewServer(cfg, poolGB, 0)
+	vm, err := memsim.NewVMMem(1, paGB+vaGB, paGB)
+	if err != nil {
+		return 0, err
+	}
+	if err := srv.AddVM(vm); err != nil {
+		return 0, err
+	}
+	vm.SetWSS(wssGB)
+	var sum float64
+	n := 0
+	for i := 0; i < ticks; i++ {
+		st, err := srv.Tick(1)
+		if err != nil {
+			return 0, err
+		}
+		// Skip the initial fault-in transient.
+		if i >= ticks/4 {
+			sum += st[1].Slowdown(cfg)
+			n++
+		}
+	}
+	return sum / float64(n), nil
+}
+
+func runFig15(c *Context) ([]*report.Table, error) {
+	const wss = 18.0
+	const vmSize = 32.0
+	sizes := []float64{0, 4, 8, 12, 16, 20, 24, 28, 32}
+
+	slow := &report.Table{
+		Title:   "Slowdown (%) by PA (rows) and VA (columns) allocation, GB",
+		Headers: append([]string{"PA\\VA"}, fmtSizes(sizes)...),
+		Note:    "'-' = invalid (PA+VA > 32GB or zero memory); 'page' = continuous paging (PA+VA < working set)",
+	}
+	alloc := &report.Table{
+		Title:   "Total physical memory allocation (GB) backing 70% of VA",
+		Headers: append([]string{"PA\\VA"}, fmtSizes(sizes)...),
+	}
+	for _, pa := range sizes {
+		srow := []any{report.Float(pa)}
+		arow := []any{report.Float(pa)}
+		for _, va := range sizes {
+			switch {
+			case pa+va > vmSize || pa+va == 0:
+				srow = append(srow, "-")
+				arow = append(arow, "-")
+			case pa+va < wss:
+				srow = append(srow, "page")
+				arow = append(arow, report.Float(pa+0.7*va))
+			default:
+				s, err := runSteadyState(pa, va, wss, va, 80)
+				if err != nil {
+					return nil, err
+				}
+				srow = append(srow, report.Float(100*(s-1)))
+				arow = append(arow, report.Float(pa+0.7*va))
+			}
+		}
+		slow.AddRow(srow...)
+		alloc.AddRow(arow...)
+	}
+	return []*report.Table{slow, alloc}, nil
+}
+
+func fmtSizes(sizes []float64) []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		out[i] = report.Float(s)
+	}
+	return out
+}
+
+// VMVariant labels the four §4.2 VM configurations.
+type VMVariant int
+
+const (
+	// GPVM is fully guaranteed (PA-backed).
+	GPVM VMVariant = iota
+	// CVM uses Coach's PA/VA split.
+	CVM
+	// CVMFloor emulates a 1GB under-allocation of the guaranteed portion.
+	CVMFloor
+	// OVM is fully oversubscribed (VA-backed).
+	OVM
+)
+
+func (v VMVariant) String() string {
+	switch v {
+	case GPVM:
+		return "GPVM"
+	case CVM:
+		return "CVM"
+	case CVMFloor:
+		return "CVM-Floor"
+	default:
+		return "OVM"
+	}
+}
+
+// Variants lists the Fig. 18 configurations in paper order.
+var Variants = []VMVariant{GPVM, CVM, CVMFloor, OVM}
+
+// wssProfile samples the workload's working-set trajectory and returns its
+// P95 and maximum — what Coach's predictor would see.
+func wssProfile(spec workload.Spec, seconds int) (p95, max float64) {
+	samples := make([]float64, seconds)
+	for t := 0; t < seconds; t++ {
+		samples[t] = spec.WSSAt(float64(t))
+	}
+	return stats.Percentile(samples, 95), stats.Max(samples)
+}
+
+// variantLayout returns the PA size and pool size for a workload under a
+// VM variant.
+func variantLayout(spec workload.Spec, v VMVariant) (paGB, poolGB float64) {
+	p95, maxW := wssProfile(spec, 600)
+	cvmPA := math.Ceil(stats.BucketUp(p95/spec.VMSizeGB, 0.05) * spec.VMSizeGB)
+	if cvmPA > spec.VMSizeGB {
+		cvmPA = spec.VMSizeGB
+	}
+	cvmPool := math.Ceil(maxW) - cvmPA
+	if cvmPool < 0 {
+		cvmPool = 0
+	}
+	switch v {
+	case GPVM:
+		return spec.VMSizeGB, 0
+	case CVM:
+		return cvmPA, cvmPool
+	case CVMFloor:
+		// Emulate a 1GB under-allocation: total physical coverage
+		// (PA + pool) ends up 1GB below the true peak working set, so
+		// the top 1GB keeps paging whenever the workload peaks.
+		pa := math.Min(cvmPA, math.Ceil(maxW)) - 1
+		if pa < 0 {
+			pa = 0
+		}
+		return pa, cvmPool
+	default: // OVM
+		return 0, spec.VMSizeGB
+	}
+}
+
+// runWorkloadVariant runs one workload under one VM variant for the given
+// seconds and returns the runner with accumulated metrics. The server runs
+// Coach's oversubscription agent with the reactive trim policy, as every
+// Coach server does (§3.6): without it, allocation churn would let cold
+// pages accumulate until blind hypervisor eviction thrashes the VM.
+func runWorkloadVariant(spec workload.Spec, v VMVariant, seconds int) (*workload.Runner, error) {
+	cfg := memsim.DefaultConfig()
+	pa, pool := variantLayout(spec, v)
+	srv := memsim.NewServer(cfg, pool, 0)
+	vm, err := memsim.NewVMMem(1, spec.VMSizeGB, pa)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.AddVM(vm); err != nil {
+		return nil, err
+	}
+	r, err := workload.NewRunner(spec, vm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ag, err := agent.New(agent.DefaultConfig(), srv)
+	if err != nil {
+		return nil, err
+	}
+	warmup := seconds / 5
+	for t := 0; t < seconds; t++ {
+		r.Step(1)
+		st, err := srv.Tick(1)
+		if err != nil {
+			return nil, err
+		}
+		ag.Tick(1, st)
+		if t >= warmup {
+			r.Record(st[1])
+		}
+	}
+	return r, nil
+}
+
+func fig18Seconds(s Scale) int {
+	if s == ScaleSmall {
+		return 240
+	}
+	return 600
+}
+
+func runFig18(c *Context) ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Normalized slowdown per workload and VM configuration",
+		Headers: []string{"workload", "metric", "GPVM", "CVM", "CVM-Floor", "OVM"},
+	}
+	seconds := fig18Seconds(c.Scale)
+	for _, spec := range workload.Table2() {
+		runners := make(map[VMVariant]*workload.Runner, len(Variants))
+		for _, v := range Variants {
+			r, err := runWorkloadVariant(spec, v, seconds)
+			if err != nil {
+				return nil, fmt.Errorf("fig18 %s/%s: %w", spec.Name, v, err)
+			}
+			runners[v] = r
+		}
+		base := runners[GPVM]
+		t.AddRow(spec.Name, spec.Metric.String(),
+			runners[GPVM].Slowdown(base), runners[CVM].Slowdown(base),
+			runners[CVMFloor].Slowdown(base), runners[OVM].Slowdown(base))
+	}
+	return []*report.Table{t}, nil
+}
+
+func runTab1(c *Context) ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Fungible and non-fungible resources and sharing mechanisms",
+		Headers: []string{"resource", "fungible", "mechanism"},
+	}
+	for _, r := range resources.Table1() {
+		fung := "yes"
+		if r.Fungibility == resources.NonFungible {
+			fung = "no"
+		}
+		t.AddRow(r.Name, fung, r.Mechanism)
+	}
+	return []*report.Table{t}, nil
+}
+
+func runTab2(c *Context) ([]*report.Table, error) {
+	t := &report.Table{
+		Title:   "Evaluated cloud workloads",
+		Headers: []string{"workload", "description", "key metric", "VM GB", "WSS GB"},
+	}
+	for _, s := range workload.Table2() {
+		t.AddRow(s.Name, s.Description, s.Metric.String(), s.VMSizeGB, s.WSSGB)
+	}
+	return []*report.Table{t}, nil
+}

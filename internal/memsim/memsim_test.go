@@ -1,0 +1,464 @@
+package memsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustVM(t *testing.T, id int, size, pa float64) *VMMem {
+	t.Helper()
+	vm, err := NewVMMem(id, size, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestNewVMMemValidation(t *testing.T) {
+	if _, err := NewVMMem(1, 0, 0); err == nil {
+		t.Error("zero size must fail")
+	}
+	if _, err := NewVMMem(1, 8, 9); err == nil {
+		t.Error("PA > size must fail")
+	}
+	if _, err := NewVMMem(1, 8, -1); err == nil {
+		t.Error("negative PA must fail")
+	}
+	vm := mustVM(t, 1, 8, 3)
+	if vm.VAGB() != 5 {
+		t.Errorf("VAGB = %v", vm.VAGB())
+	}
+}
+
+func TestSetWSSWithinPA(t *testing.T) {
+	vm := mustVM(t, 1, 8, 3)
+	vm.SetWSS(2) // fits entirely in PA
+	if vm.vaNeed() != 0 || vm.Missing() != 0 || vm.ResidentVA() != 0 {
+		t.Error("WSS within PA must create no VA demand")
+	}
+}
+
+func TestSetWSSGrowthCreatesFresh(t *testing.T) {
+	vm := mustVM(t, 1, 8, 3)
+	vm.SetWSS(5) // 2GB spill into VA, never touched -> fresh
+	if vm.needFresh != 2 {
+		t.Errorf("needFresh = %v, want 2", vm.needFresh)
+	}
+	if vm.Missing() != 2 {
+		t.Errorf("Missing = %v", vm.Missing())
+	}
+}
+
+func TestSetWSSClampsToSize(t *testing.T) {
+	vm := mustVM(t, 1, 8, 3)
+	vm.SetWSS(100)
+	if vm.WSS() != 8 {
+		t.Errorf("WSS clamped to %v, want 8", vm.WSS())
+	}
+	vm.SetWSS(-3)
+	if vm.WSS() != 0 {
+		t.Errorf("negative WSS = %v", vm.WSS())
+	}
+}
+
+func TestShrinkThenRegrowReusesColdResident(t *testing.T) {
+	vm := mustVM(t, 1, 8, 3)
+	vm.SetWSS(5)
+	vm.admit(2) // materialize the spill
+	vm.SetWSS(3)
+	if vm.coldResident != 2 {
+		t.Fatalf("coldResident = %v after shrink", vm.coldResident)
+	}
+	vm.SetWSS(5) // regrow: must reuse cold pages without faulting
+	if vm.Missing() != 0 {
+		t.Errorf("regrowth faulted %v GB despite cold pages", vm.Missing())
+	}
+	if vm.needResident != 2 {
+		t.Errorf("needResident = %v", vm.needResident)
+	}
+}
+
+func TestShrinkCancelsPendingDemand(t *testing.T) {
+	vm := mustVM(t, 1, 8, 3)
+	vm.SetWSS(5) // 2 fresh pending
+	vm.SetWSS(3) // shrink before servicing
+	if vm.Missing() != 0 {
+		t.Errorf("pending demand survived shrink: %v", vm.Missing())
+	}
+	if vm.needFresh != 0 {
+		t.Errorf("needFresh = %v", vm.needFresh)
+	}
+}
+
+func TestTrimAndRefault(t *testing.T) {
+	vm := mustVM(t, 1, 8, 3)
+	vm.SetWSS(5)
+	vm.admit(2)
+	vm.SetWSS(3)
+	if got := vm.trimCold(1.5); got != 1.5 {
+		t.Fatalf("trimCold = %v", got)
+	}
+	if vm.coldStore != 1.5 || vm.coldResident != 0.5 {
+		t.Fatalf("cold accounting wrong: store=%v resident=%v", vm.coldStore, vm.coldResident)
+	}
+	// Regrow: reuse remaining cold resident (0.5) then refault from store.
+	vm.SetWSS(5)
+	if vm.needStore != 1.5 {
+		t.Errorf("needStore = %v, want 1.5 (refault)", vm.needStore)
+	}
+	_, fromStore := vm.admit(1.5)
+	if fromStore != 1.5 {
+		t.Errorf("admit fromStore = %v", fromStore)
+	}
+}
+
+func TestStealResident(t *testing.T) {
+	vm := mustVM(t, 1, 8, 3)
+	vm.SetWSS(5)
+	vm.admit(2)
+	if got := vm.stealResident(1); got != 1 {
+		t.Fatalf("stealResident = %v", got)
+	}
+	if vm.needStore != 1 {
+		t.Errorf("stolen pages must land in the store: %v", vm.needStore)
+	}
+}
+
+func TestRotateConservation(t *testing.T) {
+	vm := mustVM(t, 1, 16, 4)
+	vm.SetWSS(10)
+	vm.admit(6)
+	before := vm.vaNeed()
+	vm.Rotate(2)
+	// Working-set size unchanged; total need population preserved.
+	if vm.vaNeed() != before {
+		t.Errorf("Rotate changed vaNeed: %v vs %v", vm.vaNeed(), before)
+	}
+	total := vm.needResident + vm.needStore + vm.needFresh
+	if math.Abs(total-before) > 1e-9 {
+		t.Errorf("need population %v != %v", total, before)
+	}
+	// The rotated-away pages linger as cold garbage.
+	if vm.coldResident != 2 {
+		t.Errorf("coldResident = %v, want 2", vm.coldResident)
+	}
+	if vm.needFresh != 2 {
+		t.Errorf("fresh allocations = %v, want 2", vm.needFresh)
+	}
+	if err := vm.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateExhaustsFreshThenRecycles(t *testing.T) {
+	vm := mustVM(t, 1, 8, 3) // VA = 5
+	vm.SetWSS(7)             // vaNeed 4
+	vm.admit(4)
+	// Fresh space = 5 - 4 = 1. Rotating 2GB: 1 fresh + 1 recycled.
+	vm.Rotate(2)
+	if vm.needFresh != 1 {
+		t.Errorf("needFresh = %v, want 1", vm.needFresh)
+	}
+	if err := vm.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessMixSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		size := 4 + rng.Float64()*60
+		pa := rng.Float64() * size
+		vm := mustVM(t, 1, size, pa)
+		vm.SetWSS(rng.Float64() * size * 1.2)
+		vm.admit(rng.Float64() * vm.Missing())
+		if rng.Float64() < 0.5 {
+			vm.SetWSS(rng.Float64() * size)
+		}
+		pPA, pVA, pSoft, pHard := vm.accessMix()
+		sum := pPA + pVA + pSoft + pHard
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("mix sums to %v", sum)
+		}
+		for _, p := range []float64{pPA, pVA, pSoft, pHard} {
+			if p < -1e-12 || p > 1+1e-12 {
+				t.Fatalf("probability %v outside [0,1]", p)
+			}
+		}
+	}
+}
+
+func TestAccessMixZNUMAFunneling(t *testing.T) {
+	// With the hot set inside PA, the VA share must be below the uniform
+	// share (zNUMA funnels hot accesses to guaranteed memory).
+	vm := mustVM(t, 1, 32, 16)
+	vm.HotFrac, vm.HotSize = 0.8, 0.2
+	vm.SetWSS(20)
+	vm.admit(vm.Missing())
+	_, pVA, _, _ := vm.accessMix()
+	uniform := 4.0 / 20 // spill / wss
+	if pVA >= uniform {
+		t.Errorf("VA share %v not funneled below uniform %v", pVA, uniform)
+	}
+}
+
+// Property: random operation sequences preserve the VMMem invariants.
+func TestVMMemInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 100; trial++ {
+		vm := mustVM(t, 1, 8+rng.Float64()*56, 0)
+		vm.PAGB = rng.Float64() * vm.SizeGB
+		for op := 0; op < 50; op++ {
+			switch rng.Intn(5) {
+			case 0:
+				vm.SetWSS(rng.Float64() * vm.SizeGB * 1.1)
+			case 1:
+				vm.admit(rng.Float64() * vm.Missing())
+			case 2:
+				vm.trimCold(rng.Float64() * 4)
+			case 3:
+				vm.stealResident(rng.Float64() * 2)
+			case 4:
+				vm.Rotate(rng.Float64() * 2)
+			}
+			if err := vm.checkInvariants(); err != nil {
+				t.Fatalf("trial %d op %d: %v", trial, op, err)
+			}
+		}
+	}
+}
+
+func TestServerAddRemoveVM(t *testing.T) {
+	s := NewServer(DefaultConfig(), 10, 5)
+	vm := mustVM(t, 1, 8, 3)
+	if err := s.AddVM(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVM(vm); err == nil {
+		t.Error("duplicate AddVM must fail")
+	}
+	if s.VM(1) != vm || s.VM(2) != nil {
+		t.Error("VM lookup wrong")
+	}
+	if !s.RemoveVM(1) || s.RemoveVM(1) {
+		t.Error("RemoveVM semantics wrong")
+	}
+	if len(s.VMs()) != 0 {
+		t.Error("VMs list not empty")
+	}
+}
+
+func TestServerTickValidation(t *testing.T) {
+	s := NewServer(DefaultConfig(), 10, 0)
+	if _, err := s.Tick(0); err == nil {
+		t.Error("zero dt must fail")
+	}
+}
+
+func TestFaultServiceBoundedByBandwidth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FaultBandwidthGBs = 1
+	s := NewServer(cfg, 100, 0)
+	vm := mustVM(t, 1, 64, 0)
+	if err := s.AddVM(vm); err != nil {
+		t.Fatal(err)
+	}
+	vm.SetWSS(50)
+	if _, err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.ResidentVA(); got > 1+1e-9 {
+		t.Errorf("admitted %v GB in 1s at 1GB/s", got)
+	}
+}
+
+func TestPoolAccountingAfterTicks(t *testing.T) {
+	s := NewServer(DefaultConfig(), 6, 0)
+	a := mustVM(t, 1, 8, 2)
+	b := mustVM(t, 2, 8, 2)
+	s.AddVM(a)
+	s.AddVM(b)
+	a.SetWSS(6)
+	b.SetWSS(6)
+	for i := 0; i < 20; i++ {
+		if _, err := s.Tick(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if used := s.PoolUsed(); used > s.PoolGB()+1e-6 {
+		t.Errorf("pool used %v exceeds pool %v", used, s.PoolGB())
+	}
+	if free := s.PoolFree(); free < 0 {
+		t.Errorf("negative pool free %v", free)
+	}
+}
+
+func TestTrimOperationFreesPool(t *testing.T) {
+	s := NewServer(DefaultConfig(), 10, 0)
+	vm := mustVM(t, 1, 16, 4)
+	s.AddVM(vm)
+	vm.SetWSS(12)
+	for i := 0; i < 10; i++ {
+		s.Tick(1)
+	}
+	vm.SetWSS(4) // 8GB goes cold
+	if vm.Trimmable() < 7.9 {
+		t.Fatalf("trimmable = %v", vm.Trimmable())
+	}
+	freeBefore := s.PoolFree()
+	s.StartTrim(1, 8)
+	for i := 0; i < 12; i++ { // 8GB at 1.1GB/s ~ 8s
+		s.Tick(1)
+	}
+	if s.PoolFree()-freeBefore < 7.9 {
+		t.Errorf("trim freed only %v GB", s.PoolFree()-freeBefore)
+	}
+}
+
+func TestTrimBandwidthHonored(t *testing.T) {
+	cfg := DefaultConfig()
+	s := NewServer(cfg, 10, 0)
+	vm := mustVM(t, 1, 16, 4)
+	s.AddVM(vm)
+	vm.SetWSS(12)
+	for i := 0; i < 10; i++ {
+		s.Tick(1)
+	}
+	vm.SetWSS(4)
+	trimmableBefore := vm.Trimmable()
+	s.StartTrim(1, 8)
+	s.Tick(1)
+	trimmed := trimmableBefore - vm.Trimmable()
+	if trimmed > cfg.TrimBandwidthGBs+1e-9 {
+		t.Errorf("trimmed %v GB in 1s at %v GB/s", trimmed, cfg.TrimBandwidthGBs)
+	}
+}
+
+func TestExtendBoundedByUnallocated(t *testing.T) {
+	s := NewServer(DefaultConfig(), 4, 3)
+	s.StartExtend(10)
+	for i := 0; i < 5; i++ {
+		s.Tick(1)
+	}
+	if s.PoolGB() != 7 {
+		t.Errorf("pool = %v, want 7 (4 + 3 unallocated)", s.PoolGB())
+	}
+	if s.UnallocatedGB() != 0 {
+		t.Errorf("unallocated = %v", s.UnallocatedGB())
+	}
+}
+
+func TestMigrationRemovesVMAndFreesPool(t *testing.T) {
+	s := NewServer(DefaultConfig(), 10, 0)
+	vm := mustVM(t, 1, 8, 2)
+	s.AddVM(vm)
+	vm.SetWSS(6)
+	for i := 0; i < 5; i++ {
+		s.Tick(1)
+	}
+	if !s.StartMigrate(1) {
+		t.Fatal("StartMigrate failed")
+	}
+	if s.StartMigrate(1) {
+		t.Error("double migration of same VM must fail")
+	}
+	if !s.Migrating(1) || s.MigrationsInFlight() != 1 {
+		t.Error("migration tracking wrong")
+	}
+	for i := 0; i < 30 && s.VM(1) != nil; i++ {
+		s.Tick(1)
+	}
+	if s.VM(1) != nil {
+		t.Fatal("migration never completed")
+	}
+	if s.PoolUsed() != 0 {
+		t.Errorf("pool still used after migration: %v", s.PoolUsed())
+	}
+}
+
+func TestBlindEvictionStealsUnderPressure(t *testing.T) {
+	// Demand exceeding the pool with no agent: the hypervisor must steal
+	// working-set pages (the None-policy paging storm).
+	s := NewServer(DefaultConfig(), 4, 0)
+	a := mustVM(t, 1, 8, 1)
+	b := mustVM(t, 2, 8, 1)
+	s.AddVM(a)
+	s.AddVM(b)
+	a.SetWSS(5) // vaNeed 4
+	b.SetWSS(5) // vaNeed 4; total 8 > pool 4
+	var stolen float64
+	for i := 0; i < 20; i++ {
+		st, err := s.Tick(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stolen += st[1].StolenGB + st[2].StolenGB
+	}
+	if stolen == 0 {
+		t.Error("pool pressure without cold memory must steal working-set pages")
+	}
+}
+
+func TestTickStatsLatencyOrdering(t *testing.T) {
+	cfg := DefaultConfig()
+	// Fully PA VM: mean latency = PA latency.
+	s := NewServer(cfg, 0, 0)
+	vm := mustVM(t, 1, 8, 8)
+	s.AddVM(vm)
+	vm.SetWSS(6)
+	st, err := s.Tick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st[1].MeanNs != cfg.PAAccessNs {
+		t.Errorf("fully guaranteed VM mean = %v, want %v", st[1].MeanNs, cfg.PAAccessNs)
+	}
+	if st[1].Slowdown(cfg) != 1 {
+		t.Errorf("slowdown = %v", st[1].Slowdown(cfg))
+	}
+}
+
+func TestMixtureQuantile(t *testing.T) {
+	lats := []float64{100, 140, 2000, 150000}
+	cases := []struct {
+		probs []float64
+		want  float64
+	}{
+		{[]float64{1, 0, 0, 0}, 100},
+		{[]float64{0.5, 0.5, 0, 0}, 140},
+		{[]float64{0.98, 0, 0, 0.02}, 150000},   // 2% hard faults -> P99 is a fault
+		{[]float64{0.985, 0, 0.01, 0.005}, 100}, // 1.5% total tail just under... 0.005 <= 0.01, 0.015 > 0.01 -> soft
+	}
+	_ = cases[3]
+	if got := mixtureQuantile(0.99, cases[0].probs, lats); got != 100 {
+		t.Errorf("pure PA quantile = %v", got)
+	}
+	if got := mixtureQuantile(0.99, cases[1].probs, lats); got != 140 {
+		t.Errorf("half VA quantile = %v", got)
+	}
+	if got := mixtureQuantile(0.99, cases[2].probs, lats); got != 150000 {
+		t.Errorf("2%% hard-fault quantile = %v", got)
+	}
+	if got := mixtureQuantile(0.99, []float64{0.985, 0, 0.015, 0}, lats); got != 2000 {
+		t.Errorf("soft-tail quantile = %v", got)
+	}
+}
+
+func TestPFaultSum(t *testing.T) {
+	st := TickStats{PSoft: 0.01, PHard: 0.02}
+	if st.PFault() != 0.03 {
+		t.Errorf("PFault = %v", st.PFault())
+	}
+}
+
+func TestFaultPages(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.FaultPages(1); got != 512 { // 1GB at 2MB pages
+		t.Errorf("FaultPages(1GB) = %v, want 512", got)
+	}
+	cfg.PageMB = 0
+	if cfg.FaultPages(1) != 0 {
+		t.Error("zero page size must return 0")
+	}
+}

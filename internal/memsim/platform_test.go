@@ -1,0 +1,147 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPinValidation(t *testing.T) {
+	vm := mustVM(t, 1, 8, 3) // VA = 5
+	if err := vm.Pin(-1); err == nil {
+		t.Error("negative pin must fail")
+	}
+	if err := vm.Pin(6); err == nil {
+		t.Error("pin beyond VA size must fail")
+	}
+	if err := vm.Pin(2); err != nil {
+		t.Fatal(err)
+	}
+	if vm.PinnedGB() != 2 {
+		t.Errorf("PinnedGB = %v", vm.PinnedGB())
+	}
+	// A second pin beyond remaining space must fail.
+	if err := vm.Pin(4); err == nil {
+		t.Error("over-pinning must fail")
+	}
+}
+
+func TestPinnedBackedEagerly(t *testing.T) {
+	s := NewServer(DefaultConfig(), 10, 0)
+	vm := mustVM(t, 1, 8, 3)
+	s.AddVM(vm)
+	if err := vm.Pin(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if vm.pinnedDemand() != 0 {
+		t.Errorf("pinned demand %v after tick, want 0 (eager backing)", vm.pinnedDemand())
+	}
+	if used := s.PoolUsed(); math.Abs(used-2) > 1e-9 {
+		t.Errorf("pool used = %v, want 2 (pinned frames)", used)
+	}
+}
+
+func TestPinnedNeverTrimmedOrStolen(t *testing.T) {
+	s := NewServer(DefaultConfig(), 4, 0)
+	vm := mustVM(t, 1, 16, 2)
+	s.AddVM(vm)
+	if err := vm.Pin(2); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the pool well beyond capacity: 2 pinned + wss spill 4 > 4.
+	vm.SetWSS(6)
+	for i := 0; i < 20; i++ {
+		if _, err := s.Tick(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if backed := vm.PinnedGB() - vm.pinnedDemand(); backed < 2-1e-9 {
+		t.Errorf("pinned memory lost frames under pressure: backed %v", backed)
+	}
+	// Trim must not touch pinned pages either.
+	s.StartTrim(1, 10)
+	for i := 0; i < 5; i++ {
+		s.Tick(1)
+	}
+	if backed := vm.PinnedGB() - vm.pinnedDemand(); backed < 2-1e-9 {
+		t.Errorf("trim reclaimed pinned frames: backed %v", backed)
+	}
+}
+
+func TestPinReducesWorkingSetRoom(t *testing.T) {
+	vm := mustVM(t, 1, 8, 3) // VA 5
+	if err := vm.Pin(3); err != nil {
+		t.Fatal(err)
+	}
+	vm.SetWSS(8) // would need 5 VA, but only 2 unpinned
+	if got := vm.vaNeed(); got != 2 {
+		t.Errorf("vaNeed = %v, want 2 (pinned range unavailable)", got)
+	}
+}
+
+func TestHostUpdatePreservesState(t *testing.T) {
+	s := NewServer(DefaultConfig(), 10, 4)
+	vm := mustVM(t, 1, 16, 4)
+	s.AddVM(vm)
+	vm.SetWSS(10)
+	for i := 0; i < 10; i++ {
+		s.Tick(1)
+	}
+	vm.SetWSS(6) // leave some cold
+	s.Tick(1)
+
+	beforeResident := vm.ResidentVA()
+	beforeCold := vm.Trimmable()
+	beforePool := s.PoolUsed()
+
+	rep := s.HostUpdate()
+	if rep.DowntimeS <= hostUpdateFixedS {
+		t.Errorf("downtime %v must include metadata persistence", rep.DowntimeS)
+	}
+	if math.Abs(rep.PersistedGB-beforeResident) > 1e-9 {
+		t.Errorf("persisted %v, want %v", rep.PersistedGB, beforeResident)
+	}
+	// All VA-backing state survives the reboot.
+	if vm.ResidentVA() != beforeResident || vm.Trimmable() != beforeCold {
+		t.Error("host update lost VA-backing state")
+	}
+	if s.PoolUsed() != beforePool {
+		t.Error("host update changed pool accounting")
+	}
+	// The server keeps running normally afterwards.
+	if _, err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostUpdateCancelsMigrations(t *testing.T) {
+	s := NewServer(DefaultConfig(), 10, 0)
+	vm := mustVM(t, 1, 8, 2)
+	s.AddVM(vm)
+	vm.SetWSS(5)
+	s.Tick(1)
+	if !s.StartMigrate(1) {
+		t.Fatal("migration failed to start")
+	}
+	rep := s.HostUpdate()
+	if rep.CancelledMigrations != 1 {
+		t.Errorf("cancelled migrations = %d", rep.CancelledMigrations)
+	}
+	if s.MigrationsInFlight() != 0 {
+		t.Error("migration survived the host update")
+	}
+	if s.VM(1) == nil {
+		t.Error("VM must remain on the source after a cancelled migration")
+	}
+}
+
+func TestHostUpdateAdvancesClock(t *testing.T) {
+	s := NewServer(DefaultConfig(), 4, 0)
+	before := s.Now()
+	rep := s.HostUpdate()
+	if s.Now()-before != rep.DowntimeS {
+		t.Error("host update must advance the simulated clock by its downtime")
+	}
+}

@@ -1,0 +1,428 @@
+package memsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TickStats reports one VM's memory behaviour over one simulated tick.
+type TickStats struct {
+	// MeanNs is the expected access latency over the tick.
+	MeanNs float64
+	// P99Ns is the 99th-percentile access latency (mixture quantile).
+	P99Ns float64
+	// FaultGB is the memory hard-faulted in from the backing store this
+	// tick.
+	FaultGB float64
+	// StolenGB is working-set memory forcibly evicted from this VM due to
+	// pool pressure (thrashing).
+	StolenGB float64
+	// PPA, PVA, PSoft, PHard are the access-mix probabilities: PA hit,
+	// resident VA hit, demand-zero soft fault, backing-store hard fault.
+	PPA, PVA, PSoft, PHard float64
+}
+
+// PFault returns the total faulting probability (soft + hard).
+func (t TickStats) PFault() float64 { return t.PSoft + t.PHard }
+
+// Slowdown returns the mean-latency slowdown relative to a fully
+// PA-backed VM.
+func (t TickStats) Slowdown(cfg Config) float64 {
+	if cfg.PAAccessNs <= 0 {
+		return 1
+	}
+	return t.MeanNs / cfg.PAAccessNs
+}
+
+// opTrim is an in-flight trim of one VM's cold pages.
+type opTrim struct {
+	vmID   int
+	leftGB float64
+}
+
+// opExtend is an in-flight extension of the oversubscribed pool from the
+// server's unallocated memory.
+type opExtend struct {
+	leftGB float64
+}
+
+// opMigrate is an in-flight live migration: the VM's memory (resident plus
+// paged-in cold memory, per §3.2 "Live migration") is copied during
+// pre-copy; on completion the VM leaves the server and its frames free.
+type opMigrate struct {
+	vmID   int
+	leftGB float64
+}
+
+// Server simulates one host's oversubscribed memory pool and its VMs.
+type Server struct {
+	cfg Config
+
+	poolGB    float64 // physical frames backing VA regions
+	unallocGB float64 // spare server memory available to Extend
+
+	vms   map[int]*VMMem
+	order []int // sorted VM ids for deterministic iteration
+
+	trims      []opTrim
+	extends    []opExtend
+	migrations []opMigrate
+
+	now float64 // seconds
+}
+
+// NewServer creates a server whose oversubscribed pool holds poolGB of
+// physical memory, with unallocGB spare for Extend mitigations.
+func NewServer(cfg Config, poolGB, unallocGB float64) *Server {
+	return &Server{cfg: cfg, poolGB: poolGB, unallocGB: unallocGB, vms: make(map[int]*VMMem)}
+}
+
+// Config returns the server's hardware parameters.
+func (s *Server) Config() Config { return s.cfg }
+
+// Now returns the simulated time in seconds.
+func (s *Server) Now() float64 { return s.now }
+
+// PoolGB returns the oversubscribed pool's physical size.
+func (s *Server) PoolGB() float64 { return s.poolGB }
+
+// PoolUsed returns the pool frames currently holding resident VA pages.
+func (s *Server) PoolUsed() float64 {
+	var used float64
+	for _, vm := range s.vms {
+		used += vm.ResidentVA()
+	}
+	return used
+}
+
+// PoolFree returns the available oversubscribed memory — the quantity
+// plotted in Fig. 21a.
+func (s *Server) PoolFree() float64 {
+	f := s.poolGB - s.PoolUsed()
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// UnallocatedGB returns the spare memory Extend can still claim.
+func (s *Server) UnallocatedGB() float64 { return s.unallocGB }
+
+// AddVM registers a VM. Its working set starts at zero; drive it with
+// VM(id).SetWSS.
+func (s *Server) AddVM(vm *VMMem) error {
+	if _, dup := s.vms[vm.ID]; dup {
+		return fmt.Errorf("memsim: vm %d already on server", vm.ID)
+	}
+	s.vms[vm.ID] = vm
+	s.order = append(s.order, vm.ID)
+	sort.Ints(s.order)
+	return nil
+}
+
+// RemoveVM detaches a VM, freeing its pool frames. Returns false if absent.
+func (s *Server) RemoveVM(id int) bool {
+	if _, ok := s.vms[id]; !ok {
+		return false
+	}
+	delete(s.vms, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// VM returns the memory state of a VM (nil when absent).
+func (s *Server) VM(id int) *VMMem { return s.vms[id] }
+
+// VMs returns the ids of resident VMs in deterministic order.
+func (s *Server) VMs() []int {
+	out := make([]int, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// StartTrim schedules trimming up to gb of the VM's cold pages at the trim
+// bandwidth (§4.5: 1.1 GB/s).
+func (s *Server) StartTrim(vmID int, gb float64) {
+	if gb > 0 {
+		s.trims = append(s.trims, opTrim{vmID: vmID, leftGB: gb})
+	}
+}
+
+// StartExtend schedules growing the pool by up to gb from unallocated
+// server memory at the extend bandwidth (§4.5: 15.7 GB/s).
+func (s *Server) StartExtend(gb float64) {
+	if gb > 0 {
+		s.extends = append(s.extends, opExtend{leftGB: gb})
+	}
+}
+
+// StartMigrate schedules live-migrating the VM away. The copied volume is
+// the VM's working set plus its trimmed cold memory, which must be paged
+// in during pre-copy (§3.2).
+func (s *Server) StartMigrate(vmID int) bool {
+	vm, ok := s.vms[vmID]
+	if !ok {
+		return false
+	}
+	for _, m := range s.migrations {
+		if m.vmID == vmID {
+			return false // already migrating
+		}
+	}
+	vol := vm.PAGB + vm.ResidentVA() + vm.Missing() + vm.coldStore
+	s.migrations = append(s.migrations, opMigrate{vmID: vmID, leftGB: vol})
+	return true
+}
+
+// MigrationsInFlight returns the number of live migrations in progress.
+func (s *Server) MigrationsInFlight() int { return len(s.migrations) }
+
+// Migrating reports whether vmID has an in-flight migration.
+func (s *Server) Migrating(vmID int) bool {
+	for _, m := range s.migrations {
+		if m.vmID == vmID {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances the simulation by dt seconds and returns per-VM stats.
+func (s *Server) Tick(dt float64) (map[int]TickStats, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("memsim: non-positive dt %g", dt)
+	}
+	stats := make(map[int]TickStats, len(s.vms))
+	// The latency mixture is evaluated against the demand present at the
+	// start of the tick: pages that must fault in during this tick are
+	// the ones whose accesses pay the fault latency.
+	for _, id := range s.order {
+		vm := s.vms[id]
+		var st TickStats
+		pPA, pVA, pSoft, pHard := vm.accessMix()
+		st.PPA, st.PVA, st.PSoft, st.PHard = pPA, pVA, pSoft, pHard
+		st.MeanNs = pPA*s.cfg.PAAccessNs + pVA*s.cfg.VAAccessNs +
+			pSoft*s.cfg.SoftFaultNs + pHard*s.cfg.FaultNs
+		st.P99Ns = mixtureQuantile(0.99,
+			[]float64{pPA, pVA, pSoft, pHard},
+			[]float64{s.cfg.PAAccessNs, s.cfg.VAAccessNs, s.cfg.SoftFaultNs, s.cfg.FaultNs})
+		stats[id] = st
+	}
+
+	s.stepExtends(dt)
+	s.stepTrims(dt)
+	s.stepMigrations(dt, stats)
+	if err := s.stepFaults(dt, stats); err != nil {
+		return nil, err
+	}
+	for _, id := range s.order {
+		if err := s.vms[id].checkInvariants(); err != nil {
+			return nil, err
+		}
+	}
+	s.now += dt
+	return stats, nil
+}
+
+func (s *Server) stepExtends(dt float64) {
+	budget := s.cfg.ExtendBandwidthGBs * dt
+	var rest []opExtend
+	for _, op := range s.extends {
+		if budget <= 0 {
+			rest = append(rest, op)
+			continue
+		}
+		amount := min2(min2(op.leftGB, budget), s.unallocGB)
+		s.unallocGB -= amount
+		s.poolGB += amount
+		op.leftGB -= amount
+		budget -= amount
+		if op.leftGB > 1e-9 && s.unallocGB > 1e-9 {
+			rest = append(rest, op)
+		}
+	}
+	s.extends = rest
+}
+
+func (s *Server) stepTrims(dt float64) {
+	budget := s.cfg.TrimBandwidthGBs * dt
+	var rest []opTrim
+	for _, op := range s.trims {
+		vm := s.vms[op.vmID]
+		if vm == nil {
+			continue
+		}
+		if budget <= 0 {
+			rest = append(rest, op)
+			continue
+		}
+		amount := vm.trimCold(min2(op.leftGB, budget))
+		op.leftGB -= amount
+		budget -= amount
+		if op.leftGB > 1e-9 && vm.Trimmable() > 1e-9 {
+			rest = append(rest, op)
+		}
+	}
+	s.trims = rest
+}
+
+func (s *Server) stepMigrations(dt float64, stats map[int]TickStats) {
+	if len(s.migrations) == 0 {
+		return
+	}
+	budget := s.cfg.MigrateBandwidthGBs * dt / float64(len(s.migrations))
+	var rest []opMigrate
+	for _, op := range s.migrations {
+		vm := s.vms[op.vmID]
+		if vm == nil {
+			continue
+		}
+		op.leftGB -= budget
+		if op.leftGB <= 0 {
+			// Migration complete: the VM leaves, freeing its frames.
+			s.RemoveVM(op.vmID)
+			delete(stats, op.vmID)
+			continue
+		}
+		rest = append(rest, op)
+	}
+	s.migrations = rest
+}
+
+// stepFaults services missing working-set pages subject to fault bandwidth
+// and pool frames, evicting cold pages — and, if forced, stealing resident
+// working-set pages — when the pool is exhausted. A VM's admission this
+// tick is capped at its demand pending when the tick started: pages stolen
+// mid-tick cannot be read back instantly (the write-out/read-back round
+// trip spans ticks), which is what makes thrashing observable.
+func (s *Server) stepFaults(dt float64, stats map[int]TickStats) error {
+	faultBudget := s.cfg.FaultBandwidthGBs * dt
+	evictBudget := s.cfg.EvictBandwidthGBs * dt
+
+	// DMA-pinned ranges are backed eagerly and first: devices must never
+	// hit an invalid translation (§3.2 guest enlightenments).
+	for _, id := range s.order {
+		vm := s.vms[id]
+		want := vm.pinnedDemand()
+		if want <= 1e-9 || faultBudget <= 1e-9 {
+			continue
+		}
+		free := s.poolGB - s.PoolUsed()
+		if free < want {
+			free += s.makeRoom(want-free, &evictBudget, stats)
+		}
+		faultBudget -= vm.admitPinned(min2(min2(want, free), faultBudget))
+	}
+
+	allowance := make(map[int]float64, len(s.vms))
+	for _, id := range s.order {
+		allowance[id] = s.vms[id].Missing()
+	}
+
+	// Deterministic round-robin over VMs with pending demand.
+	for iter := 0; iter < 64 && faultBudget > 1e-9; iter++ {
+		var pending []int
+		var totalMissing float64
+		for _, id := range s.order {
+			if m := min2(s.vms[id].Missing(), allowance[id]); m > 1e-9 {
+				pending = append(pending, id)
+				totalMissing += m
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		progressed := false
+		for _, id := range pending {
+			vm := s.vms[id]
+			m := min2(vm.Missing(), allowance[id])
+			want := min2(m, faultBudget*m/totalMissing+1e-12)
+			if want <= 1e-9 {
+				continue
+			}
+			free := s.poolGB - s.PoolUsed()
+			if free < want {
+				freed := s.makeRoom(want-free, &evictBudget, stats)
+				free += freed
+			}
+			admit := min2(want, free)
+			if admit <= 1e-9 {
+				continue
+			}
+			admitted, fromStore := vm.admit(admit)
+			faultBudget -= admitted
+			allowance[id] -= admitted
+			st := stats[id]
+			st.FaultGB += fromStore
+			stats[id] = st
+			if admitted > 1e-9 {
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return nil
+}
+
+// makeRoom frees up to gb of pool frames through the hypervisor's default
+// demand paging. Without the oversubscription agent's access tracking the
+// hypervisor cannot tell cold pages from hot ones, so eviction is blind:
+// it takes cold and working-set resident pages in proportion to their
+// populations. Stolen working-set pages fault right back in — the paging
+// storm the None policy suffers in Fig. 21 ("frequently pages out memory
+// that is paged in later"). Coach's agent avoids this by trimming
+// known-cold pages ahead of demand (StartTrim).
+func (s *Server) makeRoom(gb float64, evictBudget *float64, stats map[int]TickStats) float64 {
+	var totalCold, totalRes float64
+	for _, id := range s.order {
+		vm := s.vms[id]
+		totalCold += vm.coldResident
+		totalRes += vm.needResident
+	}
+	evictable := totalCold + totalRes
+	if evictable <= 1e-9 || *evictBudget <= 1e-9 {
+		return 0
+	}
+	want := min2(min2(gb, *evictBudget), evictable)
+	var freed float64
+	for _, id := range s.order {
+		vm := s.vms[id]
+		share := want * (vm.coldResident + vm.needResident) / evictable
+		coldTake := share
+		if vm.coldResident+vm.needResident > 0 {
+			coldTake = share * vm.coldResident / (vm.coldResident + vm.needResident)
+		}
+		freed += vm.trimCold(coldTake)
+		stolen := vm.stealResident(share - coldTake)
+		if stolen > 0 {
+			st := stats[id]
+			st.StolenGB += stolen
+			stats[id] = st
+			freed += stolen
+		}
+	}
+	*evictBudget -= freed
+	return freed
+}
+
+// mixtureQuantile returns the q-quantile of a discrete latency mixture
+// given parallel probability and latency slices in ascending latency
+// order: the largest latency whose upper tail mass exceeds 1-q.
+func mixtureQuantile(q float64, probs, lats []float64) float64 {
+	tail := 1 - q
+	var mass float64
+	for i := len(probs) - 1; i > 0; i-- {
+		mass += probs[i]
+		if mass > tail {
+			return lats[i]
+		}
+	}
+	return lats[0]
+}

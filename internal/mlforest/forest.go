@@ -1,0 +1,124 @@
+package mlforest
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ForestConfig configures a bagged random forest.
+type ForestConfig struct {
+	// Trees is the ensemble size.
+	Trees int
+	// Tree bounds each member tree.
+	Tree TreeConfig
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultForestConfig mirrors a small production-style regressor: 40 trees,
+// depth 12, sqrt-ish feature sampling.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{
+		Trees: 40,
+		Tree:  TreeConfig{MaxDepth: 12, MinLeaf: 2, FeatureFrac: 0.6},
+		Seed:  1,
+	}
+}
+
+// Forest is a trained random forest regressor.
+type Forest struct {
+	trees    []*Tree
+	nFeat    int
+	nSamples int
+}
+
+// Train fits a forest with bootstrap bagging. Each tree sees a bootstrap
+// resample of the training set and random feature subsets per split.
+func Train(samples []Sample, cfg ForestConfig) (*Forest, error) {
+	if err := validateSamples(samples); err != nil {
+		return nil, err
+	}
+	if cfg.Trees < 1 {
+		return nil, fmt.Errorf("mlforest: ForestConfig.Trees %d < 1", cfg.Trees)
+	}
+	if cfg.Tree.MinLeaf < 1 {
+		cfg.Tree.MinLeaf = 1
+	}
+	if cfg.Tree.FeatureFrac <= 0 || cfg.Tree.FeatureFrac > 1 {
+		cfg.Tree.FeatureFrac = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{nFeat: len(samples[0].Features), nSamples: len(samples)}
+	n := len(samples)
+	for t := 0; t < cfg.Trees; t++ {
+		boot := make([]int, n)
+		for i := range boot {
+			boot[i] = rng.Intn(n)
+		}
+		f.trees = append(f.trees, growTree(samples, boot, cfg.Tree, rng))
+	}
+	return f, nil
+}
+
+// Predict returns the ensemble mean prediction.
+func (f *Forest) Predict(features []float64) float64 {
+	if len(features) != f.nFeat {
+		return 0
+	}
+	var sum float64
+	for _, t := range f.trees {
+		sum += t.Predict(features)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// NumFeatures returns the feature dimensionality the forest was trained on.
+func (f *Forest) NumFeatures() int { return f.nFeat }
+
+// FeatureImportance returns per-feature total variance reduction, normalized
+// to sum to 1 (all zeros when the forest never split).
+func (f *Forest) FeatureImportance() []float64 {
+	imp := make([]float64, f.nFeat)
+	for _, t := range f.trees {
+		for i, v := range t.importance {
+			imp[i] += v
+		}
+	}
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// MemoryBytes estimates the resident size of the model (nodes dominate),
+// used by the §4.5 overhead experiment.
+func (f *Forest) MemoryBytes() int {
+	var nodes int
+	for _, t := range f.trees {
+		nodes += len(t.nodes)
+	}
+	const nodeBytes = 8 + 8 + 4 + 4 + 8 // feature, threshold, children, value
+	return nodes * nodeBytes
+}
+
+// MSE returns the mean squared error of the forest on a sample set.
+func (f *Forest) MSE(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		d := f.Predict(s.Features) - s.Target
+		sum += d * d
+	}
+	return sum / float64(len(samples))
+}

@@ -1,0 +1,250 @@
+// Package mlforest implements CART regression trees and bagged random
+// forests from scratch on the standard library.
+//
+// The paper's long-term utilization predictor is a random forest regressor
+// (§3.3): "Random forest is well-suited for predicting VM utilization due
+// to its effectiveness with categorical variables ... we choose random
+// forest because it tends to be less sensitive to overfitting." This
+// package is that model family; internal/predict assembles the feature
+// vectors and bucket quantization around it.
+package mlforest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sample is one training example: a dense feature vector and a target.
+// Categorical features are encoded ordinally; CART threshold splits handle
+// them adequately for the small cardinalities used here.
+type Sample struct {
+	Features []float64
+	Target   float64
+}
+
+// TreeConfig bounds the growth of a single regression tree.
+type TreeConfig struct {
+	// MaxDepth limits tree depth; <=0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf (>=1).
+	MinLeaf int
+	// FeatureFrac is the fraction of features considered at each split
+	// in (0,1]; the classic random-forest decorrelation knob.
+	FeatureFrac float64
+}
+
+// node is one tree node in the flat node array. Leaves have feature == -1.
+type node struct {
+	feature     int     // split feature, or -1 for a leaf
+	threshold   float64 // go left when x[feature] <= threshold
+	left, right int32   // child indexes
+	value       float64 // leaf prediction (mean target)
+}
+
+// Tree is a trained CART regression tree.
+type Tree struct {
+	nodes []node
+	// importance accumulates per-feature total variance reduction.
+	importance []float64
+}
+
+// treeBuilder carries the state shared across the recursive build.
+type treeBuilder struct {
+	samples []Sample
+	cfg     TreeConfig
+	rng     *rand.Rand
+	tree    *Tree
+	nFeat   int
+	// scratch feature order buffer reused across splits.
+	order []int
+}
+
+// growTree trains a tree on the sample subset identified by idx
+// (duplicates allowed: idx is a bootstrap sample).
+func growTree(samples []Sample, idx []int, cfg TreeConfig, rng *rand.Rand) *Tree {
+	nFeat := len(samples[0].Features)
+	b := &treeBuilder{
+		samples: samples,
+		cfg:     cfg,
+		rng:     rng,
+		tree:    &Tree{importance: make([]float64, nFeat)},
+		nFeat:   nFeat,
+	}
+	b.build(idx, 0)
+	return b.tree
+}
+
+// build grows the subtree for idx and returns its node index.
+func (b *treeBuilder) build(idx []int, depth int) int32 {
+	mean, variance := meanVar(b.samples, idx)
+	me := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, node{feature: -1, value: mean})
+
+	if len(idx) < 2*b.cfg.MinLeaf || variance <= 1e-12 {
+		return me
+	}
+	if b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth {
+		return me
+	}
+
+	feat, thr, gain := b.bestSplit(idx, variance)
+	if feat < 0 {
+		return me
+	}
+
+	left := make([]int, 0, len(idx))
+	right := make([]int, 0, len(idx))
+	for _, i := range idx {
+		if b.samples[i].Features[feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		return me
+	}
+
+	b.tree.importance[feat] += gain * float64(len(idx))
+	l := b.build(left, depth+1)
+	r := b.build(right, depth+1)
+	b.tree.nodes[me] = node{feature: feat, threshold: thr, left: l, right: r, value: mean}
+	return me
+}
+
+// bestSplit scans a random subset of features for the threshold with the
+// largest variance reduction. It returns feature -1 when no valid split
+// improves on the parent.
+func (b *treeBuilder) bestSplit(idx []int, parentVar float64) (feature int, threshold, gain float64) {
+	nTry := int(math.Ceil(b.cfg.FeatureFrac * float64(b.nFeat)))
+	if nTry < 1 {
+		nTry = 1
+	}
+	feats := b.rng.Perm(b.nFeat)[:nTry]
+
+	type valTarget struct{ v, t float64 }
+	vals := make([]valTarget, len(idx))
+
+	feature = -1
+	bestScore := math.Inf(-1)
+	n := float64(len(idx))
+
+	for _, f := range feats {
+		for j, i := range idx {
+			vals[j] = valTarget{b.samples[i].Features[f], b.samples[i].Target}
+		}
+		sort.Slice(vals, func(a, c int) bool { return vals[a].v < vals[c].v })
+
+		// Prefix sums let us evaluate every split point in one pass:
+		// weighted child variance = E[t^2] - E[t]^2 per side.
+		var sumL, sqL float64
+		var sumR, sqR float64
+		for _, vt := range vals {
+			sumR += vt.t
+			sqR += vt.t * vt.t
+		}
+		for j := 0; j < len(vals)-1; j++ {
+			sumL += vals[j].t
+			sqL += vals[j].t * vals[j].t
+			sumR -= vals[j].t
+			sqR -= vals[j].t * vals[j].t
+			if vals[j].v == vals[j+1].v {
+				continue // cannot split between equal values
+			}
+			nl, nr := float64(j+1), float64(len(vals)-j-1)
+			if int(nl) < b.cfg.MinLeaf || int(nr) < b.cfg.MinLeaf {
+				continue
+			}
+			varL := sqL/nl - (sumL/nl)*(sumL/nl)
+			varR := sqR/nr - (sumR/nr)*(sumR/nr)
+			weighted := (nl*varL + nr*varR) / n
+			score := parentVar - weighted
+			if score > bestScore {
+				bestScore = score
+				feature = f
+				threshold = (vals[j].v + vals[j+1].v) / 2
+			}
+		}
+	}
+	if feature < 0 || bestScore <= 1e-12 {
+		return -1, 0, 0
+	}
+	return feature, threshold, bestScore
+}
+
+// Predict returns the tree's prediction for one feature vector.
+func (t *Tree) Predict(features []float64) float64 {
+	i := int32(0)
+	for {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if features[nd.feature] <= nd.threshold {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+}
+
+// NumNodes returns the number of nodes in the tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 0).
+func (t *Tree) Depth() int {
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			return 0
+		}
+		l, r := walk(nd.left), walk(nd.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return walk(0)
+}
+
+func meanVar(samples []Sample, idx []int) (mean, variance float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	var sum, sq float64
+	for _, i := range idx {
+		t := samples[i].Target
+		sum += t
+		sq += t * t
+	}
+	n := float64(len(idx))
+	mean = sum / n
+	variance = sq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numeric noise
+	}
+	return mean, variance
+}
+
+// validateSamples checks shape consistency of a training set.
+func validateSamples(samples []Sample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("mlforest: empty training set")
+	}
+	nFeat := len(samples[0].Features)
+	if nFeat == 0 {
+		return fmt.Errorf("mlforest: samples have no features")
+	}
+	for i, s := range samples {
+		if len(s.Features) != nFeat {
+			return fmt.Errorf("mlforest: sample %d has %d features, want %d", i, len(s.Features), nFeat)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+// Package mllstm implements a compact single-layer LSTM regressor with
+// full backpropagation through time, from scratch on the standard library.
+//
+// Coach's local prediction component uses "a long short-term memory network
+// (LSTM) for the next 5 minutes ... The LSTM uses the maximum and average
+// utilization in the five previous 5-minute windows as input and is also
+// updated online" (paper §3.4, §3.6). The model here matches that scale:
+// ~25KB of state and sub-millisecond training/inference cycles.
+package mllstm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config sizes the network.
+type Config struct {
+	// InputDim is the number of features per timestep (paper: 2 —
+	// window max and window average).
+	InputDim int
+	// HiddenDim is the LSTM state width.
+	HiddenDim int
+	// LearningRate is the SGD step size for online updates.
+	LearningRate float64
+	// Clip bounds each gradient element (<=0 disables clipping).
+	Clip float64
+	// Seed initializes the weights deterministically.
+	Seed int64
+}
+
+// DefaultConfig returns a small network suitable for per-VM online
+// utilization prediction.
+func DefaultConfig() Config {
+	return Config{InputDim: 2, HiddenDim: 8, LearningRate: 0.05, Clip: 1.0, Seed: 7}
+}
+
+// LSTM is a single-layer LSTM with a scalar linear head. It is trained
+// online: each Train call does one forward+BPTT pass over one sequence.
+type LSTM struct {
+	cfg Config
+
+	// Gate weights, one matrix per gate, laid out [hidden][input].
+	wi, wf, wo, wg [][]float64
+	// Recurrent weights [hidden][hidden].
+	ui, uf, uo, ug [][]float64
+	// Gate biases.
+	bi, bf, bo, bg []float64
+	// Output head.
+	wy []float64
+	by float64
+
+	steps int // training steps taken
+}
+
+// New creates an initialized network. Forget-gate biases start at 1, the
+// standard trick to preserve memory early in training.
+func New(cfg Config) (*LSTM, error) {
+	if cfg.InputDim < 1 || cfg.HiddenDim < 1 {
+		return nil, fmt.Errorf("mllstm: invalid dims input=%d hidden=%d", cfg.InputDim, cfg.HiddenDim)
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h, in := cfg.HiddenDim, cfg.InputDim
+	scale := 1 / math.Sqrt(float64(in+h))
+	mat := func(rows, cols int) [][]float64 {
+		m := make([][]float64, rows)
+		for i := range m {
+			m[i] = make([]float64, cols)
+			for j := range m[i] {
+				m[i][j] = rng.NormFloat64() * scale
+			}
+		}
+		return m
+	}
+	l := &LSTM{
+		cfg: cfg,
+		wi:  mat(h, in), wf: mat(h, in), wo: mat(h, in), wg: mat(h, in),
+		ui: mat(h, h), uf: mat(h, h), uo: mat(h, h), ug: mat(h, h),
+		bi: make([]float64, h), bf: make([]float64, h), bo: make([]float64, h), bg: make([]float64, h),
+		wy: make([]float64, h),
+	}
+	for i := 0; i < h; i++ {
+		l.bf[i] = 1
+		l.wy[i] = rng.NormFloat64() * scale
+	}
+	return l, nil
+}
+
+// trace captures the per-step activations needed by BPTT.
+type trace struct {
+	x          [][]float64
+	i, f, o, g [][]float64
+	c, h       [][]float64
+	tanhC      [][]float64
+}
+
+// forward runs the network over seq and returns the prediction plus the
+// activation trace.
+func (l *LSTM) forward(seq [][]float64) (float64, *trace) {
+	h := l.cfg.HiddenDim
+	T := len(seq)
+	tr := &trace{
+		x: seq,
+		i: make([][]float64, T), f: make([][]float64, T),
+		o: make([][]float64, T), g: make([][]float64, T),
+		c: make([][]float64, T), h: make([][]float64, T),
+		tanhC: make([][]float64, T),
+	}
+	prevH := make([]float64, h)
+	prevC := make([]float64, h)
+	for t := 0; t < T; t++ {
+		it := make([]float64, h)
+		ft := make([]float64, h)
+		ot := make([]float64, h)
+		gt := make([]float64, h)
+		ct := make([]float64, h)
+		ht := make([]float64, h)
+		tc := make([]float64, h)
+		for j := 0; j < h; j++ {
+			ai := l.bi[j] + dot(l.wi[j], seq[t]) + dot(l.ui[j], prevH)
+			af := l.bf[j] + dot(l.wf[j], seq[t]) + dot(l.uf[j], prevH)
+			ao := l.bo[j] + dot(l.wo[j], seq[t]) + dot(l.uo[j], prevH)
+			ag := l.bg[j] + dot(l.wg[j], seq[t]) + dot(l.ug[j], prevH)
+			it[j] = sigmoid(ai)
+			ft[j] = sigmoid(af)
+			ot[j] = sigmoid(ao)
+			gt[j] = math.Tanh(ag)
+			ct[j] = ft[j]*prevC[j] + it[j]*gt[j]
+			tc[j] = math.Tanh(ct[j])
+			ht[j] = ot[j] * tc[j]
+		}
+		tr.i[t], tr.f[t], tr.o[t], tr.g[t] = it, ft, ot, gt
+		tr.c[t], tr.h[t], tr.tanhC[t] = ct, ht, tc
+		prevH, prevC = ht, ct
+	}
+	y := l.by + dot(l.wy, prevH)
+	return y, tr
+}
+
+// Predict returns the regression output for a sequence of feature vectors.
+// Sequences shorter than 1 step return 0.
+func (l *LSTM) Predict(seq [][]float64) float64 {
+	if len(seq) == 0 {
+		return 0
+	}
+	y, _ := l.forward(seq)
+	return y
+}
+
+// Train performs one online SGD step on (seq, target) with squared-error
+// loss and returns the pre-update prediction error (prediction - target).
+func (l *LSTM) Train(seq [][]float64, target float64) float64 {
+	if len(seq) == 0 {
+		return 0
+	}
+	y, tr := l.forward(seq)
+	dy := y - target
+
+	h := l.cfg.HiddenDim
+	in := l.cfg.InputDim
+	T := len(seq)
+
+	gwi, gwf, gwo, gwg := zeros(h, in), zeros(h, in), zeros(h, in), zeros(h, in)
+	gui, guf, guo, gug := zeros(h, h), zeros(h, h), zeros(h, h), zeros(h, h)
+	gbi, gbf, gbo, gbg := make([]float64, h), make([]float64, h), make([]float64, h), make([]float64, h)
+	gwy := make([]float64, h)
+
+	dh := make([]float64, h)
+	dc := make([]float64, h)
+	for j := 0; j < h; j++ {
+		gwy[j] = dy * tr.h[T-1][j]
+		dh[j] = dy * l.wy[j]
+	}
+	gby := dy
+
+	for t := T - 1; t >= 0; t-- {
+		prevH := make([]float64, h)
+		prevC := make([]float64, h)
+		if t > 0 {
+			prevH, prevC = tr.h[t-1], tr.c[t-1]
+		}
+		dhPrev := make([]float64, h)
+		dcPrev := make([]float64, h)
+		for j := 0; j < h; j++ {
+			do := dh[j] * tr.tanhC[t][j]
+			dcj := dc[j] + dh[j]*tr.o[t][j]*(1-tr.tanhC[t][j]*tr.tanhC[t][j])
+			di := dcj * tr.g[t][j]
+			dg := dcj * tr.i[t][j]
+			df := dcj * prevC[j]
+			dcPrev[j] = dcj * tr.f[t][j]
+
+			dai := di * tr.i[t][j] * (1 - tr.i[t][j])
+			daf := df * tr.f[t][j] * (1 - tr.f[t][j])
+			dao := do * tr.o[t][j] * (1 - tr.o[t][j])
+			dag := dg * (1 - tr.g[t][j]*tr.g[t][j])
+
+			for k := 0; k < in; k++ {
+				x := tr.x[t][k]
+				gwi[j][k] += dai * x
+				gwf[j][k] += daf * x
+				gwo[j][k] += dao * x
+				gwg[j][k] += dag * x
+			}
+			for k := 0; k < h; k++ {
+				ph := prevH[k]
+				gui[j][k] += dai * ph
+				guf[j][k] += daf * ph
+				guo[j][k] += dao * ph
+				gug[j][k] += dag * ph
+				dhPrev[k] += dai*l.ui[j][k] + daf*l.uf[j][k] + dao*l.uo[j][k] + dag*l.ug[j][k]
+			}
+			gbi[j] += dai
+			gbf[j] += daf
+			gbo[j] += dao
+			gbg[j] += dag
+		}
+		dh, dc = dhPrev, dcPrev
+	}
+
+	lr := l.cfg.LearningRate
+	clip := l.cfg.Clip
+	applyMat(l.wi, gwi, lr, clip)
+	applyMat(l.wf, gwf, lr, clip)
+	applyMat(l.wo, gwo, lr, clip)
+	applyMat(l.wg, gwg, lr, clip)
+	applyMat(l.ui, gui, lr, clip)
+	applyMat(l.uf, guf, lr, clip)
+	applyMat(l.uo, guo, lr, clip)
+	applyMat(l.ug, gug, lr, clip)
+	applyVec(l.bi, gbi, lr, clip)
+	applyVec(l.bf, gbf, lr, clip)
+	applyVec(l.bo, gbo, lr, clip)
+	applyVec(l.bg, gbg, lr, clip)
+	applyVec(l.wy, gwy, lr, clip)
+	l.by -= lr * clipVal(gby, clip)
+	l.steps++
+	return dy
+}
+
+// Steps returns the number of online training steps performed.
+func (l *LSTM) Steps() int { return l.steps }
+
+// MemoryBytes estimates the model's resident size (§4.5: ~25KB per local
+// predictor).
+func (l *LSTM) MemoryBytes() int {
+	h, in := l.cfg.HiddenDim, l.cfg.InputDim
+	params := 4*(h*in+h*h+h) + h + 1
+	return params * 8
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func zeros(r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+	}
+	return m
+}
+
+func clipVal(g, clip float64) float64 {
+	if clip <= 0 {
+		return g
+	}
+	if g > clip {
+		return clip
+	}
+	if g < -clip {
+		return -clip
+	}
+	return g
+}
+
+func applyMat(w, g [][]float64, lr, clip float64) {
+	for i := range w {
+		for j := range w[i] {
+			w[i][j] -= lr * clipVal(g[i][j], clip)
+		}
+	}
+}
+
+func applyVec(w, g []float64, lr, clip float64) {
+	for i := range w {
+		w[i] -= lr * clipVal(g[i], clip)
+	}
+}

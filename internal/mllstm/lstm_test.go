@@ -1,0 +1,165 @@
+package mllstm
+
+import (
+	"math"
+	"testing"
+)
+
+func seq(vals ...float64) [][]float64 {
+	out := make([][]float64, len(vals))
+	for i, v := range vals {
+		out[i] = []float64{v, v}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{InputDim: 0, HiddenDim: 4}); err == nil {
+		t.Error("zero input dim must fail")
+	}
+	if _, err := New(Config{InputDim: 2, HiddenDim: 0}); err == nil {
+		t.Error("zero hidden dim must fail")
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictEmptySequence(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	if got := l.Predict(nil); got != 0 {
+		t.Errorf("empty sequence predict = %v", got)
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	b, _ := New(DefaultConfig())
+	s := seq(0.1, 0.2, 0.3, 0.4, 0.5)
+	if a.Predict(s) != b.Predict(s) {
+		t.Error("same seed must give identical predictions")
+	}
+}
+
+func TestTrainConvergesOnConstant(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	s := seq(0.5, 0.5, 0.5, 0.5, 0.5)
+	for i := 0; i < 400; i++ {
+		l.Train(s, 0.5)
+	}
+	if got := l.Predict(s); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("after training on constant 0.5, predict = %v", got)
+	}
+}
+
+func TestTrainLossDecreases(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	// A small dataset: next value continues a ramp.
+	data := []struct {
+		s [][]float64
+		y float64
+	}{
+		{seq(0.1, 0.2, 0.3, 0.4, 0.5), 0.6},
+		{seq(0.2, 0.3, 0.4, 0.5, 0.6), 0.7},
+		{seq(0.5, 0.4, 0.3, 0.2, 0.1), 0.0},
+		{seq(0.6, 0.5, 0.4, 0.3, 0.2), 0.1},
+	}
+	loss := func() float64 {
+		var sum float64
+		for _, d := range data {
+			e := l.Predict(d.s) - d.y
+			sum += e * e
+		}
+		return sum
+	}
+	before := loss()
+	for epoch := 0; epoch < 300; epoch++ {
+		for _, d := range data {
+			l.Train(d.s, d.y)
+		}
+	}
+	after := loss()
+	if after >= before/2 {
+		t.Errorf("loss did not halve: before %v, after %v", before, after)
+	}
+}
+
+func TestTrainDistinguishesPatterns(t *testing.T) {
+	// Rising sequences continue high; falling sequences continue low.
+	l, _ := New(DefaultConfig())
+	rise := seq(0.1, 0.3, 0.5, 0.7, 0.9)
+	fall := seq(0.9, 0.7, 0.5, 0.3, 0.1)
+	for i := 0; i < 500; i++ {
+		l.Train(rise, 1.0)
+		l.Train(fall, 0.0)
+	}
+	if pr, pf := l.Predict(rise), l.Predict(fall); pr-pf < 0.5 {
+		t.Errorf("failed to separate patterns: rise=%v fall=%v", pr, pf)
+	}
+}
+
+func TestTrainReturnsPreUpdateError(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	s := seq(0.2, 0.2, 0.2, 0.2, 0.2)
+	pred := l.Predict(s)
+	if got := l.Train(s, 0.9); math.Abs(got-(pred-0.9)) > 1e-12 {
+		t.Errorf("Train returned %v, want %v", got, pred-0.9)
+	}
+}
+
+func TestTrainEmptySequenceNoop(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	if got := l.Train(nil, 1); got != 0 {
+		t.Errorf("empty train = %v", got)
+	}
+	if l.Steps() != 0 {
+		t.Error("empty train must not count a step")
+	}
+}
+
+func TestStepsCount(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	s := seq(0.1, 0.2)
+	for i := 0; i < 7; i++ {
+		l.Train(s, 0.3)
+	}
+	if l.Steps() != 7 {
+		t.Errorf("Steps = %d", l.Steps())
+	}
+}
+
+func TestMemoryBytesScale(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	// Paper §4.5: each local predictor takes ~25KB; our default network
+	// must be in the same ballpark (small).
+	if mb := l.MemoryBytes(); mb <= 0 || mb > 64<<10 {
+		t.Errorf("MemoryBytes = %d, want small (<64KiB)", mb)
+	}
+}
+
+func TestGradientClippingStaysFinite(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LearningRate = 1 // aggressive
+	l, _ := New(cfg)
+	s := seq(1, 1, 1, 1, 1)
+	for i := 0; i < 100; i++ {
+		l.Train(s, 1000) // extreme target
+	}
+	if p := l.Predict(s); math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Errorf("network diverged to %v despite clipping", p)
+	}
+}
+
+func TestVariableLengthSequences(t *testing.T) {
+	l, _ := New(DefaultConfig())
+	for i := 1; i <= 6; i++ {
+		vals := make([]float64, i)
+		for j := range vals {
+			vals[j] = 0.1 * float64(j)
+		}
+		l.Train(seq(vals...), 0.5)
+		if p := l.Predict(seq(vals...)); math.IsNaN(p) {
+			t.Fatalf("NaN for length-%d sequence", i)
+		}
+	}
+}

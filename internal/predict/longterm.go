@@ -1,0 +1,289 @@
+// Package predict implements Coach's two predictors:
+//
+//   - The long-term, cluster-level model (§3.3): a random-forest regressor
+//     that predicts per-time-window percentile and maximum utilization for
+//     each resource of a new VM from VM- and customer-specific features,
+//     quantized to 5% buckets. It feeds the scheduling policy.
+//   - The local, server-level two-level model (§3.4): an EWMA forecasting
+//     the next 20 seconds and an online-trained LSTM forecasting the next
+//     5 minutes. It feeds proactive contention mitigation.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/mlforest"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/stats"
+	"github.com/coach-oss/coach/internal/timeseries"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// LongTermConfig configures training of the cluster-level model.
+type LongTermConfig struct {
+	// Windows is the per-day time-window split (Coach default: 6x4h).
+	Windows timeseries.Windows
+	// Percentile is the PX used for the guaranteed portion (default 95).
+	Percentile float64
+	// Forest configures each per-resource regressor.
+	Forest mlforest.ForestConfig
+	// MinHistory is the minimum number of prior same-subscription VMs
+	// required before Coach will oversubscribe a VM (§3.3: "If there is
+	// insufficient data to predict a VM, we conservatively do not
+	// oversubscribe it").
+	MinHistory int
+	// MinSamples is the minimum series length (in 5-minute samples) for a
+	// VM to contribute training rows; defaults to one day.
+	MinSamples int
+	// SafetyBuckets is the number of extra 5% buckets added on top of
+	// each quantized prediction. Coach prioritizes protecting workload
+	// performance over savings (G2, §3.3): under-predictions are far more
+	// costly than over-predictions, so the deployed configuration biases
+	// the regressor's point estimate upward by one bucket.
+	SafetyBuckets int
+}
+
+// DefaultLongTermConfig returns Coach's deployed configuration: P95
+// predictions over six 4-hour windows (§3.3 "Coach configuration").
+func DefaultLongTermConfig() LongTermConfig {
+	return LongTermConfig{
+		Windows:       timeseries.Windows{PerDay: 6},
+		Percentile:    95,
+		Forest:        mlforest.DefaultForestConfig(),
+		MinHistory:    3,
+		MinSamples:    timeseries.SamplesPerDay,
+		SafetyBuckets: 1,
+	}
+}
+
+// subscriptionHistory aggregates the observed behaviour of a subscription's
+// earlier VMs: the model's customer-specific features (§3.3).
+type subscriptionHistory struct {
+	count    int
+	meanPeak [resources.NumKinds]float64 // mean lifetime max utilization
+	meanMean [resources.NumKinds]float64 // mean of mean utilization
+}
+
+// featureDim is the length of the model's feature vector. Layout:
+//
+//	0: cores                5: weekday of allocation (0-6)
+//	1: memory GB            6: window index
+//	2: GB per core          7: history count (log1p)
+//	3: offering (0/1)       8: history mean peak (this resource)
+//	4: subscription type    9: history mean of means (this resource)
+const featureDim = 10
+
+// LongTerm is a trained cluster-level utilization predictor.
+type LongTerm struct {
+	cfg  LongTermConfig
+	upTo int // end of the training period, in trace samples
+	// pctForest[k] predicts the PX utilization of resource k in a window;
+	// maxForest[k] predicts the window maximum.
+	pctForest [resources.NumKinds]*mlforest.Forest
+	maxForest [resources.NumKinds]*mlforest.Forest
+	history   map[int]*subscriptionHistory
+	trainRows int
+}
+
+// TrainLongTerm fits the model on every VM of tr that ends (or is fully
+// observed) before upToSample — the paper trains on the first week and
+// evaluates on the second (§2.3, Fig. 12). Utilization after upToSample is
+// never consulted.
+func TrainLongTerm(tr *trace.Trace, upToSample int, cfg LongTermConfig) (*LongTerm, error) {
+	if err := cfg.Windows.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Percentile <= 0 || cfg.Percentile > 100 {
+		return nil, fmt.Errorf("predict: percentile %f outside (0,100]", cfg.Percentile)
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = timeseries.SamplesPerDay
+	}
+
+	lt := &LongTerm{cfg: cfg, upTo: upToSample, history: make(map[int]*subscriptionHistory)}
+
+	// First pass: accumulate subscription history over the training period.
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		visible := visibleSamples(vm, upToSample)
+		if visible < cfg.MinSamples {
+			continue
+		}
+		h := lt.history[vm.Subscription]
+		if h == nil {
+			h = &subscriptionHistory{}
+			lt.history[vm.Subscription] = h
+		}
+		for _, k := range resources.Kinds {
+			s := vm.Util[k][:visible]
+			h.meanPeak[k] += s.Max()
+			h.meanMean[k] += s.Mean()
+		}
+		h.count++
+	}
+	for _, h := range lt.history {
+		for _, k := range resources.Kinds {
+			h.meanPeak[k] /= float64(h.count)
+			h.meanMean[k] /= float64(h.count)
+		}
+	}
+
+	// Second pass: build one training row per (VM, window) with targets
+	// from the observed series.
+	var rows [resources.NumKinds][]mlforest.Sample
+	var maxRows [resources.NumKinds][]mlforest.Sample
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		visible := visibleSamples(vm, upToSample)
+		if visible < cfg.MinSamples {
+			continue
+		}
+		for _, k := range resources.Kinds {
+			s := vm.Util[k][:visible]
+			pct := s.WindowPercentile(cfg.Windows, cfg.Percentile)
+			mx := s.LifetimeWindowMax(cfg.Windows)
+			for t := 0; t < cfg.Windows.PerDay; t++ {
+				feats := lt.features(tr, vm, k, t)
+				rows[k] = append(rows[k], mlforest.Sample{Features: feats, Target: pct[t]})
+				maxRows[k] = append(maxRows[k], mlforest.Sample{Features: feats, Target: mx[t]})
+				lt.trainRows++
+			}
+		}
+	}
+
+	for _, k := range resources.Kinds {
+		if len(rows[k]) == 0 {
+			return nil, fmt.Errorf("predict: no training rows for %v (horizon %d, upTo %d)", k, tr.Horizon, upToSample)
+		}
+		fc := cfg.Forest
+		fc.Seed = cfg.Forest.Seed + int64(k)
+		pf, err := mlforest.Train(rows[k], fc)
+		if err != nil {
+			return nil, err
+		}
+		fc.Seed += 100
+		mf, err := mlforest.Train(maxRows[k], fc)
+		if err != nil {
+			return nil, err
+		}
+		lt.pctForest[k] = pf
+		lt.maxForest[k] = mf
+	}
+	return lt, nil
+}
+
+func visibleSamples(vm *trace.VM, upToSample int) int {
+	if vm.Start >= upToSample {
+		return 0
+	}
+	end := vm.End
+	if end > upToSample {
+		end = upToSample
+	}
+	return end - vm.Start
+}
+
+// features builds the feature vector for one (VM, resource, window).
+func (lt *LongTerm) features(tr *trace.Trace, vm *trace.VM, k resources.Kind, window int) []float64 {
+	f := make([]float64, featureDim)
+	f[0] = vm.Cores()
+	f[1] = vm.MemoryGB()
+	f[2] = vm.MemoryGB() / vm.Cores()
+	f[3] = float64(vm.Offering)
+	f[4] = float64(tr.Subscriptions[vm.Subscription].Type)
+	f[5] = float64(tr.WeekdayAt(vm.Start))
+	f[6] = float64(window)
+	if h := lt.history[vm.Subscription]; h != nil {
+		f[7] = math.Log1p(float64(h.count))
+		f[8] = h.meanPeak[k]
+		f[9] = h.meanMean[k]
+	}
+	return f
+}
+
+// HistoryCount returns how many prior VMs the model saw for a subscription.
+func (lt *LongTerm) HistoryCount(subscription int) int {
+	if h := lt.history[subscription]; h != nil {
+		return h.count
+	}
+	return 0
+}
+
+// TrainRows returns the number of (VM, resource, window) training rows.
+func (lt *LongTerm) TrainRows() int { return lt.trainRows }
+
+// MemoryBytes estimates the resident model size (§4.5 reports 186MB at
+// production scale; ours scales with trace size).
+func (lt *LongTerm) MemoryBytes() int {
+	var total int
+	for _, k := range resources.Kinds {
+		if lt.pctForest[k] != nil {
+			total += lt.pctForest[k].MemoryBytes()
+		}
+		if lt.maxForest[k] != nil {
+			total += lt.maxForest[k].MemoryBytes()
+		}
+	}
+	return total
+}
+
+// Predict returns the per-window prediction for a VM, quantized up to 5%
+// buckets. ok is false when the VM's subscription lacks sufficient history,
+// in which case the caller must not oversubscribe the VM (§3.3).
+//
+// A VM that has already run for at least a day within the training period
+// is predicted from its own observed utilization (the platform telemetry
+// keeps accumulating per-VM data, and VM behaviour is consistent day over
+// day — Fig. 9); only fresh VMs fall back to the cross-VM forest.
+func (lt *LongTerm) Predict(tr *trace.Trace, vm *trace.VM) (pred coachvm.Prediction, ok bool) {
+	pred.Windows = lt.cfg.Windows
+	pred.Percentile = lt.cfg.Percentile
+	if visible := visibleSamples(vm, lt.upTo); visible >= lt.cfg.MinSamples {
+		for _, k := range resources.Kinds {
+			s := vm.Util[k][:visible]
+			pred.Pct[k] = quantizeAll(s.WindowPercentile(lt.cfg.Windows, lt.cfg.Percentile), lt.cfg.SafetyBuckets)
+			pred.Max[k] = quantizeAll(s.LifetimeWindowMax(lt.cfg.Windows), lt.cfg.SafetyBuckets)
+		}
+		pred.Clamp()
+		return pred, true
+	}
+	if lt.HistoryCount(vm.Subscription) < lt.cfg.MinHistory {
+		return pred, false
+	}
+	for _, k := range resources.Kinds {
+		pred.Max[k] = make([]float64, lt.cfg.Windows.PerDay)
+		pred.Pct[k] = make([]float64, lt.cfg.Windows.PerDay)
+		for t := 0; t < lt.cfg.Windows.PerDay; t++ {
+			feats := lt.features(tr, vm, k, t)
+			pred.Pct[k][t] = quantize(lt.pctForest[k].Predict(feats), lt.cfg.SafetyBuckets)
+			pred.Max[k][t] = quantize(lt.maxForest[k].Predict(feats), lt.cfg.SafetyBuckets)
+		}
+	}
+	pred.Clamp()
+	return pred, true
+}
+
+// quantizeAll applies quantize element-wise.
+func quantizeAll(xs []float64, safetyBuckets int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = quantize(x, safetyBuckets)
+	}
+	return out
+}
+
+// quantize rounds a predicted fraction up to the next 5% bucket, adds the
+// configured safety margin, and clamps into [0,1] ("predicts utilization
+// in 5% buckets", §3.3).
+func quantize(x float64, safetyBuckets int) float64 {
+	if x < 0 {
+		x = 0
+	}
+	b := stats.BucketUp(x, coachvm.FractionBucket) + float64(safetyBuckets)*coachvm.FractionBucket
+	if b > 1 {
+		b = 1
+	}
+	return b
+}

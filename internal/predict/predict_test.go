@@ -1,0 +1,270 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/timeseries"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+var (
+	cachedTrace *trace.Trace
+	cachedModel *LongTerm
+)
+
+func getTraceAndModel(t *testing.T) (*trace.Trace, *LongTerm) {
+	t.Helper()
+	if cachedTrace == nil {
+		cfg := trace.DefaultGenConfig()
+		cfg.VMs = 300
+		cfg.Subscriptions = 30
+		tr, err := trace.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := TrainLongTerm(tr, tr.Horizon/2, DefaultLongTermConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedTrace, cachedModel = tr, m
+	}
+	return cachedTrace, cachedModel
+}
+
+func TestTrainLongTermValidation(t *testing.T) {
+	tr, _ := getTraceAndModel(t)
+	cfg := DefaultLongTermConfig()
+	cfg.Percentile = 0
+	if _, err := TrainLongTerm(tr, tr.Horizon/2, cfg); err == nil {
+		t.Error("zero percentile must fail")
+	}
+	cfg = DefaultLongTermConfig()
+	cfg.Windows = timeseries.Windows{PerDay: 7}
+	if _, err := TrainLongTerm(tr, tr.Horizon/2, cfg); err == nil {
+		t.Error("invalid windows must fail")
+	}
+}
+
+func TestModelTrained(t *testing.T) {
+	_, m := getTraceAndModel(t)
+	if m.TrainRows() == 0 {
+		t.Fatal("no training rows")
+	}
+	if m.MemoryBytes() <= 0 {
+		t.Error("model memory must be positive")
+	}
+}
+
+func TestOwnHistoryPredictionAccuracy(t *testing.T) {
+	// For VMs observable during training, the prediction comes from their
+	// own history and must cover their actual P95 in most cases.
+	tr, m := getTraceAndModel(t)
+	covered, total := 0, 0
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.Start > 0 || vm.End < tr.Horizon-1 || !vm.LongRunning() {
+			continue
+		}
+		pred, ok := m.Predict(tr, vm)
+		if !ok {
+			continue
+		}
+		total++
+		actual := vm.Util[resources.Memory].WindowPercentile(pred.Windows, 95)
+		ok2 := true
+		var predGuar, actGuar float64
+		for tt := range actual {
+			if pred.Pct[resources.Memory][tt] > predGuar {
+				predGuar = pred.Pct[resources.Memory][tt]
+			}
+			if actual[tt] > actGuar {
+				actGuar = actual[tt]
+			}
+		}
+		if predGuar < actGuar-1e-9 {
+			ok2 = false
+		}
+		if ok2 {
+			covered++
+		}
+	}
+	if total == 0 {
+		t.Skip("no full-lifetime VMs at this scale")
+	}
+	if frac := float64(covered) / float64(total); frac < 0.8 {
+		t.Errorf("own-history coverage = %.2f, want >= 0.8", frac)
+	}
+}
+
+func TestFreshVMRequiresSubscriptionHistory(t *testing.T) {
+	tr, m := getTraceAndModel(t)
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.Start <= tr.Horizon/2 {
+			continue // not fresh
+		}
+		_, ok := m.Predict(tr, vm)
+		if ok && m.HistoryCount(vm.Subscription) < DefaultLongTermConfig().MinHistory {
+			t.Fatalf("vm %d predicted without history", vm.ID)
+		}
+	}
+}
+
+func TestPredictionsQuantized(t *testing.T) {
+	tr, m := getTraceAndModel(t)
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		pred, ok := m.Predict(tr, vm)
+		if !ok {
+			continue
+		}
+		for _, k := range resources.Kinds {
+			for _, v := range pred.Max[k] {
+				if v < 0 || v > 1 {
+					t.Fatalf("prediction %v outside [0,1]", v)
+				}
+				steps := v / 0.05
+				if math.Abs(steps-math.Round(steps)) > 1e-6 {
+					t.Fatalf("prediction %v not on a 5%% bucket", v)
+				}
+			}
+		}
+		if i > 50 {
+			break
+		}
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if got := quantize(0.17, 0); math.Abs(got-0.20) > 1e-12 {
+		t.Errorf("quantize(0.17, 0) = %v", got)
+	}
+	if got := quantize(0.17, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("quantize(0.17, 1) = %v", got)
+	}
+	if got := quantize(0.99, 2); got != 1 {
+		t.Errorf("quantize must clamp at 1, got %v", got)
+	}
+	if got := quantize(-0.5, 0); got != 0 {
+		t.Errorf("quantize(-0.5) = %v", got)
+	}
+}
+
+func TestNewLocalValidation(t *testing.T) {
+	cfg := DefaultLocalConfig()
+	cfg.Alpha = -1
+	l, err := NewLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Observe(0.5)
+	if l.PredictShort() != 0.5 {
+		t.Error("invalid alpha must default and track first observation")
+	}
+}
+
+func TestLocalShortPrediction(t *testing.T) {
+	l, err := NewLocal(DefaultLocalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		l.Observe(0.6)
+	}
+	if got := l.PredictShort(); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("short prediction = %v, want 0.6", got)
+	}
+}
+
+func TestLocalWindowRolling(t *testing.T) {
+	l, _ := NewLocal(DefaultLocalConfig())
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 15; i++ {
+			l.Observe(0.5)
+		}
+		l.CompleteWindow()
+	}
+	if l.CompletedWindows() != 3 {
+		t.Errorf("completed = %d", l.CompletedWindows())
+	}
+	// Empty window is a no-op.
+	l.CompleteWindow()
+	if l.CompletedWindows() != 3 {
+		t.Error("empty CompleteWindow must not count")
+	}
+}
+
+func TestLocalWarmupGating(t *testing.T) {
+	cfg := DefaultLocalConfig()
+	cfg.WarmupWindows = 2
+	l, _ := NewLocal(cfg)
+	if l.LSTMReady() {
+		t.Error("LSTM ready before warmup")
+	}
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 15; i++ {
+			l.Observe(0.4)
+		}
+		l.CompleteWindow()
+	}
+	if !l.LSTMReady() {
+		t.Error("LSTM not ready after warmup")
+	}
+}
+
+func TestLocalFiveMinFallsBackBeforeWarmup(t *testing.T) {
+	l, _ := NewLocal(DefaultLocalConfig()) // 288-window warmup
+	for i := 0; i < 15; i++ {
+		l.Observe(0.7)
+	}
+	l.CompleteWindow()
+	if got := l.PredictFiveMin(); math.Abs(got-l.PredictShort()) > 1e-9 {
+		t.Errorf("pre-warmup 5-min prediction %v != EWMA %v", got, l.PredictShort())
+	}
+}
+
+func TestLocalLSTMLearnsLevel(t *testing.T) {
+	cfg := DefaultLocalConfig()
+	cfg.WarmupWindows = 5
+	l, _ := NewLocal(cfg)
+	for w := 0; w < 120; w++ {
+		for i := 0; i < 15; i++ {
+			l.Observe(0.5)
+		}
+		l.CompleteWindow()
+	}
+	if got := l.PredictFiveMin(); math.Abs(got-0.5) > 0.15 {
+		t.Errorf("LSTM prediction of constant 0.5 = %v", got)
+	}
+}
+
+func TestLocalMemoryBudget(t *testing.T) {
+	l, _ := NewLocal(DefaultLocalConfig())
+	// Paper §4.5: each local predictor requires ~25KB.
+	if mb := l.MemoryBytes(); mb > 64<<10 {
+		t.Errorf("local predictor uses %d bytes, want ~25KB", mb)
+	}
+}
+
+func TestPredictionClampAgainstMax(t *testing.T) {
+	tr, m := getTraceAndModel(t)
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		pred, ok := m.Predict(tr, vm)
+		if !ok {
+			continue
+		}
+		for _, k := range resources.Kinds {
+			for tt := range pred.Pct[k] {
+				if pred.Pct[k][tt] > pred.Max[k][tt]+1e-9 {
+					t.Fatalf("pct above max at vm %d", vm.ID)
+				}
+			}
+		}
+		if i > 50 {
+			break
+		}
+	}
+}

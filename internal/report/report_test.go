@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Sample",
+		Note:    "a note",
+		Headers: []string{"name", "value"},
+	}
+	t.AddRow("alpha", 1.5)
+	t.AddRow("beta", "raw")
+	t.AddRow("gamma", 42)
+	return t
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		1.5:     "1.5",
+		1.50001: "1.5",
+		2:       "2",
+		0:       "0",
+		-0.25:   "-0.25",
+		100.129: "100.13",
+	}
+	for in, want := range cases {
+		if got := Float(in); got != want {
+			t.Errorf("Float(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(12.345); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestAddRowStringification(t *testing.T) {
+	tab := sample()
+	if tab.Rows[0][1] != "1.5" {
+		t.Errorf("float cell = %q", tab.Rows[0][1])
+	}
+	if tab.Rows[1][1] != "raw" {
+		t.Errorf("string cell = %q", tab.Rows[1][1])
+	}
+	if tab.Rows[2][1] != "42" {
+		t.Errorf("int cell = %q", tab.Rows[2][1])
+	}
+}
+
+func TestRender(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== Sample ==", "name", "alpha", "1.5", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Separator line present.
+	if !strings.Contains(out, "----") {
+		t.Error("missing separator")
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// The value column starts right after the widest first column
+	// ("gamma", 5 chars) plus two spaces, on every data row.
+	// lines: 0 title, 1 header, 2 separator, 3-5 data.
+	offsets := []int{
+		strings.Index(lines[3], "1.5"),
+		strings.Index(lines[4], "raw"),
+		strings.Index(lines[5], "42"),
+	}
+	for i, off := range offsets {
+		if off != 7 {
+			t.Errorf("row %d value offset = %d, want 7 (lines: %q)", i, off, lines[3:6])
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Markdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### Sample", "| name | value |", "| --- | --- |", "| alpha | 1.5 |", "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := &Table{Headers: []string{"a"}}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Markdown(&b); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package resources
+
+// Fungibility distinguishes resources that can be quickly reassigned
+// between VMs from those that cannot (paper §3.2, Table 1). Fungible
+// resources are multiplexed by the hypervisor on demand; non-fungible ones
+// must be partitioned carefully (e.g., physical memory pages must be paged
+// out before reassignment).
+type Fungibility int
+
+const (
+	// Fungible resources can be reassigned between VMs in microseconds to
+	// milliseconds (CPU time, bandwidth shares).
+	Fungible Fungibility = iota
+	// NonFungible resources hold state that must be drained or copied
+	// before reassignment (memory pages, disk partitions, SR-IOV functions).
+	NonFungible
+)
+
+func (f Fungibility) String() string {
+	if f == Fungible {
+		return "fungible"
+	}
+	return "non-fungible"
+}
+
+// SharedResource describes one row of the paper's Table 1: a resource, its
+// fungibility, and the mechanism used to share it across VMs.
+type SharedResource struct {
+	Name        string
+	Fungibility Fungibility
+	Mechanism   string
+	// Kind is the managed Kind the row maps to, or -1 when the row is a
+	// sub-resource Coach tracks but does not schedule independently
+	// (e.g., memory bandwidth, power).
+	Kind Kind
+}
+
+// Table1 reproduces the paper's Table 1 verbatim: common fungible and
+// non-fungible resources and the mechanisms used to share them.
+func Table1() []SharedResource {
+	return []SharedResource{
+		{Name: "CPU", Fungibility: Fungible, Mechanism: "CPU groups", Kind: CPU},
+		{Name: "Memory space", Fungibility: NonFungible, Mechanism: "PA/VA portions, VA-backing", Kind: Memory},
+		{Name: "Memory bandwidth", Fungibility: Fungible, Mechanism: "Shares, reservations, caps", Kind: -1},
+		{Name: "Network bandwidth", Fungibility: Fungible, Mechanism: "Shares, reservations, caps", Kind: Network},
+		{Name: "Accelerated network", Fungibility: NonFungible, Mechanism: "SR-IOV", Kind: -1},
+		{Name: "Storage bandwidth", Fungibility: Fungible, Mechanism: "Shares, reservations, caps", Kind: -1},
+		{Name: "Local storage space", Fungibility: NonFungible, Mechanism: "Disk partitions, DDA, SR-IOV", Kind: SSD},
+		{Name: "Remote storage space", Fungibility: Fungible, Mechanism: "Cache size and network bandwidth", Kind: -1},
+		{Name: "GPU", Fungibility: NonFungible, Mechanism: "DDA, SR-IOV", Kind: -1},
+		{Name: "Power", Fungibility: Fungible, Mechanism: "Frequency and power caps", Kind: -1},
+	}
+}
+
+// KindFungibility returns the fungibility of a scheduled resource kind.
+// Memory space and local SSD space are non-fungible; CPU and network
+// bandwidth are fungible.
+func KindFungibility(k Kind) Fungibility {
+	switch k {
+	case Memory, SSD:
+		return NonFungible
+	default:
+		return Fungible
+	}
+}

@@ -1,0 +1,227 @@
+// Package resources defines the resource kinds managed by Coach and the
+// vector arithmetic used throughout scheduling and simulation.
+//
+// Coach manages all server resources holistically (paper §1, §2.2). A
+// resource amount is always expressed in the natural unit of its kind:
+// cores for CPU, GB for memory, Gbps for network bandwidth and GB for
+// local SSD space. Utilization, in contrast, is expressed as a fraction of
+// the allocation in [0, 1] (see internal/timeseries).
+package resources
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies one of the managed resource types.
+type Kind int
+
+// The resource kinds Coach oversubscribes, in the order used by Vector.
+const (
+	CPU      Kind = iota // cores (hyperthreads normalized to cores)
+	Memory               // GB of DRAM
+	Network              // Gbps of NIC bandwidth
+	SSD                  // GB of local SSD space
+	NumKinds             // number of resource kinds; not itself a kind
+)
+
+// Kinds lists every managed resource kind in canonical order.
+var Kinds = [NumKinds]Kind{CPU, Memory, Network, SSD}
+
+// String returns the short human-readable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case Memory:
+		return "Memory"
+	case Network:
+		return "Network"
+	case SSD:
+		return "SSD"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Unit returns the unit the kind is measured in.
+func (k Kind) Unit() string {
+	switch k {
+	case CPU:
+		return "cores"
+	case Memory:
+		return "GB"
+	case Network:
+		return "Gbps"
+	case SSD:
+		return "GB"
+	default:
+		return "?"
+	}
+}
+
+// Vector holds one amount per resource kind, indexed by Kind.
+// The zero value is the empty allocation.
+type Vector [NumKinds]float64
+
+// NewVector builds a vector from explicit per-kind amounts.
+func NewVector(cpu, memory, network, ssd float64) Vector {
+	return Vector{CPU: cpu, Memory: memory, Network: network, SSD: ssd}
+}
+
+// Get returns the amount for kind k.
+func (v Vector) Get(k Kind) float64 { return v[k] }
+
+// With returns a copy of v with kind k set to amount.
+func (v Vector) With(k Kind, amount float64) Vector {
+	v[k] = amount
+	return v
+}
+
+// Add returns the element-wise sum v + o.
+func (v Vector) Add(o Vector) Vector {
+	for i := range v {
+		v[i] += o[i]
+	}
+	return v
+}
+
+// Sub returns the element-wise difference v - o.
+func (v Vector) Sub(o Vector) Vector {
+	for i := range v {
+		v[i] -= o[i]
+	}
+	return v
+}
+
+// Scale returns v with every element multiplied by f.
+func (v Vector) Scale(f float64) Vector {
+	for i := range v {
+		v[i] *= f
+	}
+	return v
+}
+
+// Mul returns the element-wise product v * o. It is the conversion from
+// fractional utilization (o) to absolute demand given an allocation (v).
+func (v Vector) Mul(o Vector) Vector {
+	for i := range v {
+		v[i] *= o[i]
+	}
+	return v
+}
+
+// Max returns the element-wise maximum of v and o.
+func (v Vector) Max(o Vector) Vector {
+	for i := range v {
+		if o[i] > v[i] {
+			v[i] = o[i]
+		}
+	}
+	return v
+}
+
+// Min returns the element-wise minimum of v and o.
+func (v Vector) Min(o Vector) Vector {
+	for i := range v {
+		if o[i] < v[i] {
+			v[i] = o[i]
+		}
+	}
+	return v
+}
+
+// ClampNonNegative returns v with negative elements replaced by zero.
+func (v Vector) ClampNonNegative() Vector {
+	for i := range v {
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+	return v
+}
+
+// FitsIn reports whether every element of v is at most the corresponding
+// element of capacity. It is the feasibility check used by vector
+// bin-packing schedulers (paper §3.3).
+func (v Vector) FitsIn(capacity Vector) bool {
+	for i := range v {
+		if v[i] > capacity[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every element is exactly zero.
+func (v Vector) IsZero() bool {
+	for i := range v {
+		if v[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Positive reports whether every element is strictly greater than zero.
+func (v Vector) Positive() bool {
+	for i := range v {
+		if v[i] <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DotProduct returns the sum over kinds of v[k]*o[k]. Schedulers use it as
+// an alignment score between VM demand and remaining server capacity.
+func (v Vector) DotProduct(o Vector) float64 {
+	var sum float64
+	for i := range v {
+		sum += v[i] * o[i]
+	}
+	return sum
+}
+
+// Utilization returns, per kind, v[k]/capacity[k] (0 when the capacity is
+// zero). It converts absolute demand back into fractions of a server.
+func (v Vector) Utilization(capacity Vector) Vector {
+	var out Vector
+	for i := range v {
+		if capacity[i] > 0 {
+			out[i] = v[i] / capacity[i]
+		}
+	}
+	return out
+}
+
+// MaxFraction returns the largest element of v.Utilization(capacity) and
+// the kind that attains it. It identifies the bottleneck resource.
+func (v Vector) MaxFraction(capacity Vector) (Kind, float64) {
+	frac := v.Utilization(capacity)
+	best := CPU
+	for _, k := range Kinds {
+		if frac[k] > frac[best] {
+			best = k
+		}
+	}
+	return best, frac[best]
+}
+
+// String renders the vector with units, e.g.
+// "{8 cores, 32 GB, 10 Gbps, 300 GB ssd}".
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range Kinds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4g %s", v[k], k.Unit())
+		if k == SSD {
+			b.WriteString(" ssd")
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

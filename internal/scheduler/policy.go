@@ -1,0 +1,94 @@
+// Package scheduler implements Coach's cluster scheduler: a rule-based
+// best-fit vector bin-packing allocator (in the style of the production
+// allocator the paper simulates around, §4.1) extended with Coach's
+// time-window dimensions (§3.3).
+//
+// Four oversubscription policies are provided, matching Fig. 20:
+//
+//	None      — allocate the full requested resources (no oversubscription).
+//	Single    — one static oversubscription rate per VM per resource,
+//	            the state-of-the-art baseline (Resource Central style).
+//	Coach     — per-time-window oversubscription with P95 guarantees.
+//	AggrCoach — Coach with a P50 prediction percentile.
+package scheduler
+
+import (
+	"fmt"
+
+	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/timeseries"
+)
+
+// PolicyKind selects the oversubscription policy.
+type PolicyKind int
+
+const (
+	// PolicyNone allocates every VM fully guaranteed.
+	PolicyNone PolicyKind = iota
+	// PolicySingle predicts a single static oversubscription rate per VM
+	// (the per-window structure is collapsed to its lifetime maximum).
+	PolicySingle
+	// PolicyCoach uses per-time-window predictions (the paper's system).
+	PolicyCoach
+	// PolicyAggrCoach is Coach with an aggressive P50 percentile.
+	PolicyAggrCoach
+)
+
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyNone:
+		return "None"
+	case PolicySingle:
+		return "Single"
+	case PolicyCoach:
+		return "Coach"
+	case PolicyAggrCoach:
+		return "AggrCoach"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+// Policies lists the policy kinds in Fig. 20 order.
+var Policies = []PolicyKind{PolicyNone, PolicySingle, PolicyCoach, PolicyAggrCoach}
+
+// BuildCVM shapes a VM request into a CoachVM according to the policy.
+// pred is the long-term prediction for the VM; ok=false means the
+// prediction model had insufficient history, in which case every policy
+// conservatively allocates the VM fully guaranteed (§3.3).
+func BuildCVM(kind PolicyKind, id int, alloc resources.Vector, pred coachvm.Prediction, ok bool, w timeseries.Windows) (*coachvm.CVM, error) {
+	if kind == PolicyNone || !ok {
+		return coachvm.FullyGuaranteed(id, alloc, w), nil
+	}
+	if kind == PolicySingle {
+		pred = collapseWindows(pred)
+	}
+	return coachvm.New(id, alloc, pred)
+}
+
+// collapseWindows flattens a per-window prediction into a static one: every
+// window carries the lifetime maxima. The resulting CVM still has a
+// guaranteed/oversubscribed split (static oversubscription) but exposes no
+// temporal complementarity to multiplex.
+func collapseWindows(p coachvm.Prediction) coachvm.Prediction {
+	out := p
+	for _, k := range resources.Kinds {
+		var mMax, mPct float64
+		for t := range p.Max[k] {
+			if p.Max[k][t] > mMax {
+				mMax = p.Max[k][t]
+			}
+			if p.Pct[k][t] > mPct {
+				mPct = p.Pct[k][t]
+			}
+		}
+		out.Max[k] = make([]float64, len(p.Max[k]))
+		out.Pct[k] = make([]float64, len(p.Pct[k]))
+		for t := range out.Max[k] {
+			out.Max[k][t] = mMax
+			out.Pct[k][t] = mPct
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/timeseries"
+)
+
+// ServerState pairs a fleet server with its oversubscription bookkeeping.
+type ServerState struct {
+	Server *cluster.Server
+	Pool   *coachvm.Pool
+}
+
+// Used reports whether the server hosts at least one VM.
+func (s *ServerState) Used() bool { return s.Pool.Len() > 0 }
+
+// Scheduler places CoachVMs onto a fleet using best-fit vector bin-packing
+// over the (windows+1)-dimensional demand vectors of §3.3. It is
+// deterministic: ties break on the lowest server ID.
+type Scheduler struct {
+	windows timeseries.Windows
+	servers []*ServerState
+	// placement maps VM ID -> index into servers.
+	placement map[int]int
+}
+
+// New builds a scheduler over the fleet with empty servers.
+func New(fleet *cluster.Fleet, w timeseries.Windows) (*Scheduler, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{windows: w, placement: make(map[int]int)}
+	for i := range fleet.Servers {
+		srv := &fleet.Servers[i]
+		s.servers = append(s.servers, &ServerState{
+			Server: srv,
+			Pool:   coachvm.NewPool(srv.Capacity(), w),
+		})
+	}
+	return s, nil
+}
+
+// Windows returns the time-window configuration.
+func (s *Scheduler) Windows() timeseries.Windows { return s.windows }
+
+// Servers returns the server states (shared slice: do not mutate).
+func (s *Scheduler) Servers() []*ServerState { return s.servers }
+
+// Place assigns vm to the best feasible server and returns its index.
+// ok is false when no server can host the VM.
+//
+// Placement preference follows the packing heuristics of production
+// rule-based allocators: among feasible servers, prefer the one whose
+// post-placement packed fraction is highest (best fit), consolidating VMs
+// onto fewer servers and leaving empty servers for large requests.
+func (s *Scheduler) Place(vm *coachvm.CVM) (serverIdx int, ok bool) {
+	return s.PlaceExcluding(vm, -1)
+}
+
+// PlaceExcluding is Place but never considers server exclude (used by
+// migration, which must move a VM off its current host).
+func (s *Scheduler) PlaceExcluding(vm *coachvm.CVM, exclude int) (serverIdx int, ok bool) {
+	if _, dup := s.placement[vm.ID]; dup {
+		return -1, false
+	}
+	best := -1
+	bestScore := -1.0
+	for i, st := range s.servers {
+		if i == exclude || !st.Pool.Fits(vm) {
+			continue
+		}
+		if score := s.packScore(st, vm); score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return -1, false
+	}
+	if err := s.servers[best].Pool.Add(vm); err != nil {
+		// Fits was checked above; failure here indicates a bookkeeping bug.
+		panic(fmt.Sprintf("scheduler: place on feasible server failed: %v", err))
+	}
+	s.placement[vm.ID] = best
+	return best, true
+}
+
+// packScore scores placing vm on st: the mean packed fraction across
+// resources after placement. Higher is fuller, which the best-fit
+// preference maximizes.
+func (s *Scheduler) packScore(st *ServerState, vm *coachvm.CVM) float64 {
+	backed := st.Pool.Backed().Add(vm.Guaranteed)
+	frac := backed.Utilization(st.Server.Capacity())
+	var sum float64
+	for _, k := range resources.Kinds {
+		sum += frac[k]
+	}
+	return sum / float64(resources.NumKinds)
+}
+
+// Remove deletes a VM from its server, returning the CVM and its former
+// server index (nil, -1 when unknown).
+func (s *Scheduler) Remove(vmID int) (*coachvm.CVM, int) {
+	idx, ok := s.placement[vmID]
+	if !ok {
+		return nil, -1
+	}
+	delete(s.placement, vmID)
+	return s.servers[idx].Pool.Remove(vmID), idx
+}
+
+// Migrate moves a VM to another feasible server. It returns the new server
+// index, or ok=false (with the VM restored in place) when no other server
+// fits.
+func (s *Scheduler) Migrate(vmID int) (newServer int, ok bool) {
+	vm, from := s.Remove(vmID)
+	if vm == nil {
+		return -1, false
+	}
+	to, ok := s.PlaceExcluding(vm, from)
+	if !ok {
+		// Restore.
+		if err := s.servers[from].Pool.Add(vm); err != nil {
+			panic(fmt.Sprintf("scheduler: restore after failed migration: %v", err))
+		}
+		s.placement[vmID] = from
+		return -1, false
+	}
+	return to, true
+}
+
+// ServerOf returns the server index hosting vmID, or -1.
+func (s *Scheduler) ServerOf(vmID int) int {
+	if idx, ok := s.placement[vmID]; ok {
+		return idx
+	}
+	return -1
+}
+
+// Placed returns the number of VMs currently placed.
+func (s *Scheduler) Placed() int { return len(s.placement) }
+
+// UsedServers returns the number of servers hosting at least one VM.
+func (s *Scheduler) UsedServers() int {
+	n := 0
+	for _, st := range s.servers {
+		if st.Used() {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalBacked returns the fleet-wide physically backed resources.
+func (s *Scheduler) TotalBacked() resources.Vector {
+	var total resources.Vector
+	for _, st := range s.servers {
+		total = total.Add(st.Pool.Backed())
+	}
+	return total
+}

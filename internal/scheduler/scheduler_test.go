@@ -1,0 +1,315 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/timeseries"
+)
+
+var w6 = timeseries.Windows{PerDay: 6}
+
+func smallFleet(serversPer int) *cluster.Fleet {
+	return cluster.NewFleet([]cluster.Config{
+		{Name: "T", Spec: cluster.ServerSpec{Name: "t", Generation: 1,
+			Capacity: resources.NewVector(16, 64, 10, 1024)}, Servers: serversPer},
+	})
+}
+
+func guaranteedVM(id int, cores, mem float64) *coachvm.CVM {
+	return coachvm.FullyGuaranteed(id, resources.NewVector(cores, mem, 1, 32), w6)
+}
+
+func mustScheduler(t *testing.T, fleet *cluster.Fleet) *Scheduler {
+	t.Helper()
+	s, err := New(fleet, w6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(smallFleet(1), timeseries.Windows{PerDay: 7}); err == nil {
+		t.Error("invalid windows must fail")
+	}
+}
+
+func TestPlaceAndRemove(t *testing.T) {
+	s := mustScheduler(t, smallFleet(2))
+	vm := guaranteedVM(1, 4, 16)
+	idx, ok := s.Place(vm)
+	if !ok {
+		t.Fatal("placement failed on empty fleet")
+	}
+	if s.ServerOf(1) != idx {
+		t.Error("ServerOf inconsistent")
+	}
+	if s.Placed() != 1 || s.UsedServers() != 1 {
+		t.Error("bookkeeping wrong after place")
+	}
+	got, from := s.Remove(1)
+	if got != vm || from != idx {
+		t.Error("Remove returned wrong VM/server")
+	}
+	if s.Placed() != 0 || s.ServerOf(1) != -1 {
+		t.Error("bookkeeping wrong after remove")
+	}
+}
+
+func TestPlaceRejectsDuplicateID(t *testing.T) {
+	s := mustScheduler(t, smallFleet(2))
+	if _, ok := s.Place(guaranteedVM(1, 1, 4)); !ok {
+		t.Fatal("first placement failed")
+	}
+	if _, ok := s.Place(guaranteedVM(1, 1, 4)); ok {
+		t.Error("duplicate ID placement must fail")
+	}
+}
+
+func TestPlaceRejectsWhenFull(t *testing.T) {
+	s := mustScheduler(t, smallFleet(1))
+	// 16-core server: four 4-core VMs fit, the fifth cannot.
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Place(guaranteedVM(i, 4, 16)); !ok {
+			t.Fatalf("vm %d should fit", i)
+		}
+	}
+	if _, ok := s.Place(guaranteedVM(4, 4, 16)); ok {
+		t.Error("fifth VM must be rejected")
+	}
+}
+
+func TestBestFitConsolidates(t *testing.T) {
+	// Two servers; small VMs should pack onto one before using the other.
+	s := mustScheduler(t, smallFleet(2))
+	a, _ := s.Place(guaranteedVM(1, 2, 8))
+	b, _ := s.Place(guaranteedVM(2, 2, 8))
+	if a != b {
+		t.Errorf("best-fit spread small VMs across servers: %d vs %d", a, b)
+	}
+	if s.UsedServers() != 1 {
+		t.Errorf("UsedServers = %d, want 1", s.UsedServers())
+	}
+}
+
+func TestMigrateMovesVM(t *testing.T) {
+	s := mustScheduler(t, smallFleet(2))
+	from, _ := s.Place(guaranteedVM(1, 4, 16))
+	to, ok := s.Migrate(1)
+	if !ok {
+		t.Fatal("migration failed with a free server available")
+	}
+	if to == from {
+		t.Error("migration must change servers")
+	}
+	if s.ServerOf(1) != to {
+		t.Error("placement map not updated")
+	}
+}
+
+func TestMigrateRestoresOnFailure(t *testing.T) {
+	s := mustScheduler(t, smallFleet(1))
+	idx, _ := s.Place(guaranteedVM(1, 4, 16))
+	if _, ok := s.Migrate(1); ok {
+		t.Fatal("migration must fail with a single server")
+	}
+	if s.ServerOf(1) != idx {
+		t.Error("VM must be restored to its original server")
+	}
+	if s.Servers()[idx].Pool.Len() != 1 {
+		t.Error("pool must still hold the VM")
+	}
+}
+
+func TestMigrateUnknownVM(t *testing.T) {
+	s := mustScheduler(t, smallFleet(1))
+	if _, ok := s.Migrate(99); ok {
+		t.Error("migrating unknown VM must fail")
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	mk := func() []int {
+		s := mustScheduler(t, smallFleet(4))
+		rng := rand.New(rand.NewSource(11))
+		var idxs []int
+		for i := 0; i < 30; i++ {
+			vm := guaranteedVM(i, float64(1+rng.Intn(4)), float64(4*(1+rng.Intn(4))))
+			if idx, ok := s.Place(vm); ok {
+				idxs = append(idxs, idx)
+			}
+		}
+		return idxs
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic placement count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTotalBacked(t *testing.T) {
+	s := mustScheduler(t, smallFleet(2))
+	s.Place(guaranteedVM(1, 4, 16))
+	s.Place(guaranteedVM(2, 2, 8))
+	got := s.TotalBacked()
+	want := resources.NewVector(6, 24, 2, 64)
+	if got != want {
+		t.Errorf("TotalBacked = %v, want %v", got, want)
+	}
+}
+
+func TestBuildCVMNonePolicy(t *testing.T) {
+	alloc := resources.NewVector(4, 16, 2, 128)
+	vm, err := BuildCVM(PolicyNone, 1, alloc, coachvm.Prediction{}, true, w6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Guaranteed != alloc {
+		t.Error("None policy must fully guarantee")
+	}
+}
+
+func TestBuildCVMNoHistoryFallsBack(t *testing.T) {
+	alloc := resources.NewVector(4, 16, 2, 128)
+	for _, p := range []PolicyKind{PolicySingle, PolicyCoach, PolicyAggrCoach} {
+		vm, err := BuildCVM(p, 1, alloc, coachvm.Prediction{}, false, w6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vm.Guaranteed != alloc {
+			t.Errorf("%v without history must fully guarantee", p)
+		}
+	}
+}
+
+func mkPrediction(maxCPU []float64) coachvm.Prediction {
+	p := coachvm.Prediction{Windows: w6, Percentile: 95}
+	for _, k := range resources.Kinds {
+		p.Max[k] = make([]float64, w6.PerDay)
+		p.Pct[k] = make([]float64, w6.PerDay)
+		for i := range p.Max[k] {
+			p.Max[k][i] = 0.5
+			p.Pct[k][i] = 0.4
+		}
+	}
+	copy(p.Max[resources.CPU], maxCPU)
+	return p
+}
+
+func TestBuildCVMSingleCollapsesWindows(t *testing.T) {
+	alloc := resources.NewVector(8, 32, 4, 256)
+	pred := mkPrediction([]float64{0.2, 0.8, 0.4, 0.2, 0.2, 0.2})
+	single, err := BuildCVM(PolicySingle, 1, alloc, pred, true, w6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single: every window's demand equals the lifetime max.
+	first := single.SchedDemand(resources.CPU, 0)
+	for tt := 1; tt < w6.PerDay; tt++ {
+		if single.SchedDemand(resources.CPU, tt) != first {
+			t.Fatal("Single policy must have flat per-window demand")
+		}
+	}
+	coach, err := BuildCVM(PolicyCoach, 2, alloc, pred, true, w6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coach: window 1 demand must exceed window 0 (0.8 vs 0.2).
+	if coach.SchedDemand(resources.CPU, 1) <= coach.SchedDemand(resources.CPU, 0) {
+		t.Error("Coach policy must preserve per-window structure")
+	}
+	// And Coach's off-peak demand is below Single's flat demand.
+	if coach.SchedDemand(resources.CPU, 0) >= first {
+		t.Error("Coach off-peak demand must undercut Single")
+	}
+}
+
+func TestCoachPacksComplementaryVMs(t *testing.T) {
+	// Two VMs peaking in different windows fit together under Coach but
+	// not under Single — the core of the paper's claim.
+	cap := resources.NewVector(10, 64, 10, 1024)
+	fleet := cluster.NewFleet([]cluster.Config{
+		{Name: "T", Spec: cluster.ServerSpec{Name: "t", Capacity: cap}, Servers: 1},
+	})
+	alloc := resources.NewVector(8, 16, 1, 64)
+	dayPeak := mkPrediction([]float64{0.2, 0.2, 0.2, 1, 1, 0.2})
+	nightPeak := mkPrediction([]float64{1, 1, 0.2, 0.2, 0.2, 0.2})
+
+	sCoach := mustScheduler(t, fleet)
+	a, _ := BuildCVM(PolicyCoach, 1, alloc, dayPeak, true, w6)
+	b, _ := BuildCVM(PolicyCoach, 2, alloc, nightPeak, true, w6)
+	if _, ok := sCoach.Place(a); !ok {
+		t.Fatal("first VM must place")
+	}
+	if _, ok := sCoach.Place(b); !ok {
+		t.Fatal("Coach must colocate complementary VMs (peak demands 8+1.6 <= 10)")
+	}
+
+	fleet2 := cluster.NewFleet([]cluster.Config{
+		{Name: "T", Spec: cluster.ServerSpec{Name: "t", Capacity: cap}, Servers: 1},
+	})
+	sSingle := mustScheduler(t, fleet2)
+	a2, _ := BuildCVM(PolicySingle, 1, alloc, dayPeak, true, w6)
+	b2, _ := BuildCVM(PolicySingle, 2, alloc, nightPeak, true, w6)
+	if _, ok := sSingle.Place(a2); !ok {
+		t.Fatal("first VM must place under Single")
+	}
+	if _, ok := sSingle.Place(b2); ok {
+		t.Error("Single must reject the second VM (flat demands 8+8 > 10)")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[PolicyKind]string{
+		PolicyNone: "None", PolicySingle: "Single",
+		PolicyCoach: "Coach", PolicyAggrCoach: "AggrCoach",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if len(Policies) != 4 {
+		t.Error("Policies must list 4 kinds")
+	}
+}
+
+// Property: whatever is placed never exceeds any server's capacity in any
+// window.
+func TestCapacityInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		s := mustScheduler(t, smallFleet(3))
+		for i := 0; i < 50; i++ {
+			pred := mkPrediction([]float64{
+				rng.Float64(), rng.Float64(), rng.Float64(),
+				rng.Float64(), rng.Float64(), rng.Float64(),
+			})
+			alloc := resources.NewVector(float64(1+rng.Intn(8)), float64(4+4*rng.Intn(8)), 1, 64)
+			vm, err := BuildCVM(PolicyCoach, i, alloc, pred, true, w6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Place(vm)
+		}
+		for _, st := range s.Servers() {
+			cap := st.Server.Capacity()
+			for _, k := range resources.Kinds {
+				for tt := 0; tt < w6.PerDay; tt++ {
+					if st.Pool.DemandAt(k, tt) > cap[k]+1e-6 {
+						t.Fatalf("window demand %v exceeds capacity %v", st.Pool.DemandAt(k, tt), cap[k])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package sim is the cluster-scale simulator of §4.1: it replays a VM
+// trace against a fleet, runs the production-style scheduler extended with
+// Coach's time-window policy, and accounts capacity and contention.
+//
+// The paper's simulator "assigns VMs to servers by executing the real
+// production VM scheduler code on the production VM traces ... Based on
+// the VM placements of the simulator, we simulate the resource utilization
+// for each server using the 5-minute data and estimate the contention."
+// This package follows the same structure with our reimplemented
+// scheduler and synthetic traces.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/predict"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/scheduler"
+	"github.com/coach-oss/coach/internal/timeseries"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Policy is the oversubscription policy under test.
+	Policy scheduler.PolicyKind
+	// Windows is the time-window split (Coach default 6x4h).
+	Windows timeseries.Windows
+	// Percentile is the guaranteed-portion percentile: 95 for Coach and
+	// Single, 50 for AggrCoach (§4.3).
+	Percentile float64
+	// TrainUpTo is the trace sample that separates the prediction model's
+	// training period from the evaluated period (default: day 7).
+	TrainUpTo int
+	// LongTerm configures predictor training; Windows/Percentile above
+	// override its corresponding fields.
+	LongTerm predict.LongTermConfig
+	// CPUContentionFrac: a server tick counts as CPU-contended when
+	// utilized CPU demand exceeds this fraction of server capacity
+	// (§4.3: "CPU contention occurs when demand exceeds 50% of the
+	// server capacity" — the hyperthread-sharing threshold).
+	CPUContentionFrac float64
+}
+
+// DefaultConfig returns the Coach policy configuration.
+func DefaultConfig() Config {
+	return Config{
+		Policy:            scheduler.PolicyCoach,
+		Windows:           timeseries.Windows{PerDay: 6},
+		Percentile:        95,
+		TrainUpTo:         7 * timeseries.SamplesPerDay,
+		LongTerm:          predict.DefaultLongTermConfig(),
+		CPUContentionFrac: 0.5,
+	}
+}
+
+// ConfigForPolicy adapts DefaultConfig to one of the Fig. 20 policies.
+func ConfigForPolicy(p scheduler.PolicyKind) Config {
+	cfg := DefaultConfig()
+	cfg.Policy = p
+	if p == scheduler.PolicyAggrCoach {
+		cfg.Percentile = 50
+	}
+	return cfg
+}
+
+// VMOutcome records prediction quality for one placed, oversubscribed VM,
+// comparing the guaranteed (percentile-based) allocation against the ideal
+// allocation — the utilization the VM actually exhibited (Fig. 19).
+type VMOutcome struct {
+	VMID int
+	// OverAllocFrac[k] is the mean over windows of the positive gap
+	// between the predicted PX utilization (as allocated, with bucket
+	// rounding) and the actual PX utilization, as a fraction of the
+	// allocation: resources that could have been saved with an ideal
+	// allocation.
+	OverAllocFrac resources.Vector
+	// UnderAllocated[k] is true when the guaranteed portion (the max of
+	// the predicted PX across windows) fell below the actual PX maximum:
+	// the misprediction §3.3's design guards against, which requires
+	// under-predicting every window's contribution to the maximum.
+	UnderAllocated [resources.NumKinds]bool
+}
+
+// Result summarizes one run.
+type Result struct {
+	Policy    scheduler.PolicyKind
+	Requested int // VM arrivals during the evaluation period
+	Placed    int
+	Rejected  int
+	// Oversubscribed counts placed VMs that received a non-trivial
+	// guaranteed/oversubscribed split.
+	Oversubscribed int
+	// UsedServers is the peak number of concurrently occupied servers.
+	UsedServers int
+	// ServerTicks is the number of (used server, 5-minute tick) slots.
+	ServerTicks int
+	// CPUViolations / MemViolations count contended slots.
+	CPUViolations int
+	MemViolations int
+	Outcomes      []VMOutcome
+}
+
+// CPUViolationFrac returns CPU-contended slots as a fraction of slots.
+func (r *Result) CPUViolationFrac() float64 { return frac(r.CPUViolations, r.ServerTicks) }
+
+// MemViolationFrac returns memory-contended slots as a fraction of slots.
+func (r *Result) MemViolationFrac() float64 { return frac(r.MemViolations, r.ServerTicks) }
+
+// PlacedFrac returns the share of arrivals the fleet could host.
+func (r *Result) PlacedFrac() float64 { return frac(r.Placed, r.Requested) }
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// MeanOverAllocFrac averages the over-allocation error across outcomes for
+// resource k (Fig. 19a).
+func (r *Result) MeanOverAllocFrac(k resources.Kind) float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, o := range r.Outcomes {
+		sum += o.OverAllocFrac[k]
+	}
+	return sum / float64(len(r.Outcomes))
+}
+
+// UnderAllocFrac returns the fraction of oversubscribed VMs whose reserved
+// maximum under-ran their actual maximum for resource k (Fig. 19b).
+func (r *Result) UnderAllocFrac(k resources.Kind) float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.UnderAllocated[k] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Outcomes))
+}
+
+// Run executes one simulation over the evaluation period of tr
+// ([cfg.TrainUpTo, horizon)) on the given fleet.
+func Run(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Result, error) {
+	if cfg.TrainUpTo <= 0 || cfg.TrainUpTo >= tr.Horizon {
+		return nil, fmt.Errorf("sim: TrainUpTo %d outside (0,%d)", cfg.TrainUpTo, tr.Horizon)
+	}
+	ltCfg := cfg.LongTerm
+	ltCfg.Windows = cfg.Windows
+	ltCfg.Percentile = cfg.Percentile
+
+	var model *predict.LongTerm
+	if cfg.Policy != scheduler.PolicyNone {
+		var err error
+		model, err = predict.TrainLongTerm(tr, cfg.TrainUpTo, ltCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sched, err := scheduler.New(fleet, cfg.Windows)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the event list: VMs live during the evaluation period arrive
+	// at max(Start, TrainUpTo) and depart at End.
+	type event struct {
+		sample  int
+		arrival bool
+		vm      *trace.VM
+	}
+	var events []event
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.End <= cfg.TrainUpTo {
+			continue
+		}
+		at := vm.Start
+		if at < cfg.TrainUpTo {
+			at = cfg.TrainUpTo
+		}
+		events = append(events, event{sample: at, arrival: true, vm: vm})
+		events = append(events, event{sample: vm.End, arrival: false, vm: vm})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].sample != events[j].sample {
+			return events[i].sample < events[j].sample
+		}
+		// Departures before arrivals at the same tick frees capacity first.
+		return !events[i].arrival && events[j].arrival
+	})
+
+	res := &Result{Policy: cfg.Policy}
+	placed := make(map[int]*trace.VM)
+	ei := 0
+	for t := cfg.TrainUpTo; t < tr.Horizon; t++ {
+		for ei < len(events) && events[ei].sample == t {
+			ev := events[ei]
+			ei++
+			if !ev.arrival {
+				if _, ok := placed[ev.vm.ID]; ok {
+					sched.Remove(ev.vm.ID)
+					delete(placed, ev.vm.ID)
+				}
+				continue
+			}
+			res.Requested++
+			var pred coachvm.Prediction
+			ok := false
+			if model != nil {
+				pred, ok = model.Predict(tr, ev.vm)
+			}
+			cvm, err := scheduler.BuildCVM(cfg.Policy, ev.vm.ID, ev.vm.Alloc, pred, ok, cfg.Windows)
+			if err != nil {
+				return nil, err
+			}
+			if _, placedOK := sched.Place(cvm); placedOK {
+				res.Placed++
+				placed[ev.vm.ID] = ev.vm
+				if ok && cfg.Policy != scheduler.PolicyNone {
+					res.Oversubscribed++
+					res.Outcomes = append(res.Outcomes, outcome(ev.vm, cvm, cfg))
+				}
+			} else {
+				res.Rejected++
+			}
+		}
+		used := accountContention(sched, placed, t, cfg, res)
+		if used > res.UsedServers {
+			res.UsedServers = used
+		}
+	}
+	return res, nil
+}
+
+// accountContention sums each used server's actual demand at tick t,
+// counts CPU/memory violations, and returns the number of occupied
+// servers.
+func accountContention(s *scheduler.Scheduler, placed map[int]*trace.VM, t int, cfg Config, res *Result) (used int) {
+	servers := s.Servers()
+	demand := make([]resources.Vector, len(servers))
+	active := make([]bool, len(servers))
+	for id, vm := range placed {
+		idx := s.ServerOf(id)
+		if idx < 0 {
+			continue
+		}
+		demand[idx] = demand[idx].Add(vm.DemandAt(t))
+		active[idx] = true
+	}
+	for i, st := range servers {
+		if !active[i] {
+			continue
+		}
+		used++
+		res.ServerTicks++
+		cap := st.Server.Capacity()
+		if demand[i][resources.CPU] > cfg.CPUContentionFrac*cap[resources.CPU] {
+			res.CPUViolations++
+		}
+		// Memory contention: utilized memory beyond the physically backed
+		// amount pages to disk (§4.3).
+		if demand[i][resources.Memory] > st.Pool.Backed()[resources.Memory]+1e-9 {
+			res.MemViolations++
+		}
+	}
+	return used
+}
+
+// outcome compares a CVM's guaranteed (percentile-based) allocation
+// against the VM's actual percentile utilization over its lifetime.
+func outcome(vm *trace.VM, cvm *coachvm.CVM, cfg Config) VMOutcome {
+	o := VMOutcome{VMID: vm.ID}
+	for _, k := range resources.Kinds {
+		actualPct := vm.Util[k].WindowPercentile(cfg.Windows, cfg.Percentile)
+		var sum float64
+		var actualGuar float64
+		for t := 0; t < cfg.Windows.PerDay; t++ {
+			if d := cvm.Pred.Pct[k][t] - actualPct[t]; d > 0 {
+				sum += d
+			}
+			if actualPct[t] > actualGuar {
+				actualGuar = actualPct[t]
+			}
+		}
+		o.OverAllocFrac[k] = sum / float64(cfg.Windows.PerDay)
+		if cvm.Pred.PADemandFrac(k) < actualGuar-1e-9 {
+			o.UnderAllocated[k] = true
+		}
+	}
+	return o
+}

@@ -1,0 +1,255 @@
+// Package stats provides the statistical primitives the Coach reproduction
+// relies on: percentiles, histograms, CDFs, violin summaries (paper Fig. 11),
+// correlation (Fig. 6) and exponentially weighted moving averages (§3.4).
+//
+// Everything is implemented from scratch on the standard library so the
+// module stays dependency-free and deterministic.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between order statistics. It returns 0 for empty input.
+// The input slice is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile for an already ascending-sorted slice.
+// Use it to avoid repeated sorting when extracting several percentiles.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Range returns the spread between the hi-th and lo-th percentiles of xs
+// (e.g., P95-P5), the paper's "utilization range" metric (§2.3, Fig. 6).
+func Range(xs []float64, lo, hi float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, hi) - PercentileSorted(sorted, lo)
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns 0 when the lengths differ, are < 2, or either side has zero
+// variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var num, dx2, dy2 float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		num += dx * dy
+		dx2 += dx * dx
+		dy2 += dy * dy
+	}
+	if dx2 == 0 || dy2 == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx2*dy2)
+}
+
+// Violin is the five-plus-one number summary the paper uses to draw the
+// savings violins in Fig. 11: min, P25, median, P75, max and mean.
+type Violin struct {
+	Min, P25, Median, P75, Max, Mean float64
+	N                                int
+}
+
+// NewViolin summarizes xs. The zero Violin describes an empty sample.
+func NewViolin(xs []float64) Violin {
+	if len(xs) == 0 {
+		return Violin{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Violin{
+		Min:    sorted[0],
+		P25:    PercentileSorted(sorted, 25),
+		Median: PercentileSorted(sorted, 50),
+		P75:    PercentileSorted(sorted, 75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(sorted),
+		N:      len(sorted),
+	}
+}
+
+// CDFPoint is one point of an empirical CDF: Fraction of samples <= Value.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical CDF of xs evaluated at the given thresholds.
+// Thresholds must be in ascending order; each output point reports the
+// fraction of samples less than or equal to the threshold.
+func CDF(xs []float64, thresholds []float64) []CDFPoint {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(thresholds))
+	for i, t := range thresholds {
+		// count of samples <= t
+		n := sort.SearchFloat64s(sorted, math.Nextafter(t, math.Inf(1)))
+		frac := 0.0
+		if len(sorted) > 0 {
+			frac = float64(n) / float64(len(sorted))
+		}
+		out[i] = CDFPoint{Value: t, Fraction: frac}
+	}
+	return out
+}
+
+// Histogram counts samples into equal-width bins over [lo, hi). Samples
+// outside the range are clamped into the first or last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	idx := int(float64(bins) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// BucketUp rounds x up to the next multiple of step (e.g., 17.3 -> 20 with
+// step 5), the paper's conservative 5%-bucket rounding (§2.3, §3.3).
+// Non-positive steps return x unchanged.
+func BucketUp(x, step float64) float64 {
+	if step <= 0 {
+		return x
+	}
+	b := math.Ceil(x/step-1e-9) * step
+	if b < 0 {
+		return 0
+	}
+	return b
+}

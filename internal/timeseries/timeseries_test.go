@@ -1,0 +1,294 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mkSeries builds a days-long series whose value at each sample is
+// f(day, sampleOfDay).
+func mkSeries(days int, f func(day, sample int) float64) Series {
+	s := make(Series, days*SamplesPerDay)
+	for d := 0; d < days; d++ {
+		for i := 0; i < SamplesPerDay; i++ {
+			s[d*SamplesPerDay+i] = f(d, i)
+		}
+	}
+	return s
+}
+
+func TestConstants(t *testing.T) {
+	if SamplesPerHour != 12 || SamplesPerDay != 288 {
+		t.Fatalf("5-minute telemetry constants wrong: %d %d", SamplesPerHour, SamplesPerDay)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := Series{1, 2, 3}
+	c := s.Clone()
+	c[0] = 99
+	if s[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestBasicAggregates(t *testing.T) {
+	s := Series{0.1, 0.5, 0.3}
+	if s.Max() != 0.5 || math.Abs(s.Mean()-0.3) > 1e-12 {
+		t.Errorf("max/mean wrong: %v %v", s.Max(), s.Mean())
+	}
+}
+
+func TestDaysAndDay(t *testing.T) {
+	s := mkSeries(2, func(d, i int) float64 { return float64(d) })
+	if s.Days() != 2 {
+		t.Errorf("Days = %d", s.Days())
+	}
+	if len(s.Day(0)) != SamplesPerDay || s.Day(1)[0] != 1 {
+		t.Error("Day slicing wrong")
+	}
+	if s.Day(5) != nil {
+		t.Error("out-of-range day must be nil")
+	}
+	// Partial final day.
+	partial := append(s.Clone(), 0.9)
+	if got := partial.Day(2); len(got) != 1 || got[0] != 0.9 {
+		t.Errorf("partial day = %v", got)
+	}
+}
+
+func TestWindowsValidate(t *testing.T) {
+	for _, w := range CommonWindowConfigs() {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%v: %v", w, err)
+		}
+	}
+	if err := (Windows{PerDay: 0}).Validate(); err == nil {
+		t.Error("0 windows must be invalid")
+	}
+	if err := (Windows{PerDay: 7}).Validate(); err == nil {
+		t.Error("7 windows does not divide 288 samples: must be invalid")
+	}
+}
+
+func TestWindowsHoursSamples(t *testing.T) {
+	w := Windows{PerDay: 6}
+	if w.Hours() != 4 || w.Samples() != 48 {
+		t.Errorf("6 windows: hours=%v samples=%d", w.Hours(), w.Samples())
+	}
+	if w.String() != "6x4h" {
+		t.Errorf("String = %q", w.String())
+	}
+}
+
+func TestWindowOf(t *testing.T) {
+	w := Windows{PerDay: 3} // 8h windows, 96 samples each
+	day, win := w.WindowOf(0)
+	if day != 0 || win != 0 {
+		t.Errorf("WindowOf(0) = %d,%d", day, win)
+	}
+	day, win = w.WindowOf(SamplesPerDay + 96)
+	if day != 1 || win != 1 {
+		t.Errorf("WindowOf(day1+96) = %d,%d", day, win)
+	}
+}
+
+func TestDayWindowMax(t *testing.T) {
+	// Day 0: window 0 peaks at 0.8, window 1 flat 0.2, window 2 flat 0.4.
+	s := mkSeries(1, func(d, i int) float64 {
+		switch {
+		case i == 10:
+			return 0.8
+		case i < 96:
+			return 0.1
+		case i < 192:
+			return 0.2
+		default:
+			return 0.4
+		}
+	})
+	wm := s.DayWindowMax(0, Windows{PerDay: 3})
+	if wm[0] != 0.8 || wm[1] != 0.2 || wm[2] != 0.4 {
+		t.Errorf("DayWindowMax = %v", wm)
+	}
+}
+
+func TestDayWindowMaxPartialDayNaN(t *testing.T) {
+	s := make(Series, 10) // much less than one window
+	wm := s.DayWindowMax(0, Windows{PerDay: 3})
+	if math.IsNaN(wm[0]) {
+		t.Error("window 0 has samples, must not be NaN")
+	}
+	if !math.IsNaN(wm[1]) || !math.IsNaN(wm[2]) {
+		t.Error("empty windows must be NaN")
+	}
+}
+
+func TestLifetimeWindowMax(t *testing.T) {
+	// Two days: day 0 peaks 0.5 in window 0; day 1 peaks 0.7 in window 0.
+	s := mkSeries(2, func(d, i int) float64 {
+		if i == 0 {
+			return 0.5 + 0.2*float64(d)
+		}
+		return 0.1
+	})
+	lm := s.LifetimeWindowMax(Windows{PerDay: 3})
+	if lm[0] != 0.7 {
+		t.Errorf("lifetime window 0 max = %v, want 0.7", lm[0])
+	}
+	if lm[1] != 0.1 || lm[2] != 0.1 {
+		t.Errorf("lifetime maxes = %v", lm)
+	}
+}
+
+// Property: lifetime window max dominates every day's window max.
+func TestLifetimeWindowMaxDominatesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		days := 1 + rng.Intn(4)
+		s := mkSeries(days, func(d, i int) float64 { return rng.Float64() })
+		w := CommonWindowConfigs()[rng.Intn(7)]
+		lm := s.LifetimeWindowMax(w)
+		for d := 0; d < days; d++ {
+			dm := s.DayWindowMax(d, w)
+			for win := range dm {
+				if !math.IsNaN(dm[win]) && dm[win] > lm[win]+1e-12 {
+					t.Fatalf("day %d window %d max %v > lifetime %v", d, win, dm[win], lm[win])
+				}
+			}
+		}
+	}
+}
+
+// Property: a window's percentile never exceeds its lifetime max.
+func TestWindowPercentileBoundedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		s := mkSeries(2, func(d, i int) float64 { return rng.Float64() })
+		w := Windows{PerDay: 6}
+		pct := s.WindowPercentile(w, 95)
+		lm := s.LifetimeWindowMax(w)
+		for win := range pct {
+			if pct[win] > lm[win]+1e-12 {
+				t.Fatalf("window %d P95 %v > max %v", win, pct[win], lm[win])
+			}
+		}
+	}
+}
+
+func TestWindowPercentileConstantSeries(t *testing.T) {
+	s := mkSeries(1, func(d, i int) float64 { return 0.42 })
+	for _, p := range s.WindowPercentile(Windows{PerDay: 6}, 95) {
+		if math.Abs(p-0.42) > 1e-9 {
+			t.Fatalf("constant series percentile = %v", p)
+		}
+	}
+}
+
+func TestPeaksValleysFlatSeries(t *testing.T) {
+	s := mkSeries(1, func(d, i int) float64 { return 0.33 })
+	_, _, has := s.PeaksValleys(0, Windows{PerDay: 6})
+	if has {
+		t.Error("flat series must have no peaks/valleys (within one 5% bucket)")
+	}
+}
+
+func TestPeaksValleysDetection(t *testing.T) {
+	// Window 2 peaks at 0.6; everything else at 0.1.
+	w := Windows{PerDay: 6}
+	s := mkSeries(1, func(d, i int) float64 {
+		if i/w.Samples() == 2 {
+			return 0.6
+		}
+		return 0.1
+	})
+	peaks, valleys, has := s.PeaksValleys(0, w)
+	if !has {
+		t.Fatal("peaks must be detected")
+	}
+	if !peaks[2] {
+		t.Error("window 2 must be a peak")
+	}
+	for win, p := range peaks {
+		if win != 2 && p {
+			t.Errorf("window %d wrongly a peak", win)
+		}
+	}
+	for win, v := range valleys {
+		if win == 2 && v {
+			t.Error("peak window cannot be a valley")
+		}
+		if win != 2 && !v {
+			t.Errorf("window %d must be a valley", win)
+		}
+	}
+}
+
+func TestPeaksValleysWithinBucketIsNone(t *testing.T) {
+	// 0.17 vs 0.19 both bucket to 0.20: no peak.
+	w := Windows{PerDay: 2}
+	s := mkSeries(1, func(d, i int) float64 {
+		if i < w.Samples() {
+			return 0.17
+		}
+		return 0.19
+	})
+	_, _, has := s.PeaksValleys(0, w)
+	if has {
+		t.Error("window maxima within one bucket must count as None")
+	}
+}
+
+func TestWindowSavings(t *testing.T) {
+	// Lifetime max 0.75; windows at 0.30, 0.75, 0.55 -> savings 0.45, 0, 0.20
+	// (the paper's §2.3 worked example).
+	w := Windows{PerDay: 3}
+	s := mkSeries(1, func(d, i int) float64 {
+		switch i / w.Samples() {
+		case 0:
+			return 0.30
+		case 1:
+			return 0.75
+		default:
+			return 0.55
+		}
+	})
+	sv := s.WindowSavings(0, w, 0.75)
+	want := []float64{0.45, 0, 0.20}
+	for i := range want {
+		if math.Abs(sv[i]-want[i]) > 1e-12 {
+			t.Errorf("savings[%d] = %v, want %v", i, sv[i], want[i])
+		}
+	}
+}
+
+// Property: savings are non-negative and bounded by the lifetime max.
+func TestWindowSavingsBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := mkSeries(1, func(d, i int) float64 { return rng.Float64() })
+		lm := s.Max()
+		for _, sv := range s.WindowSavings(0, Windows{PerDay: 6}, lm) {
+			if sv < 0 || sv > lm+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilRange(t *testing.T) {
+	s := make(Series, 100)
+	for i := range s {
+		s[i] = float64(i) / 100
+	}
+	r := s.UtilRange(5, 95)
+	if r < 0.85 || r > 0.95 {
+		t.Errorf("P95-P5 of ramp = %v", r)
+	}
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Save serializes the full trace (including utilization series) with
+// encoding/gob. Use Load to read it back.
+func (tr *Trace) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(tr)
+}
+
+// Load reads a trace written by Save and validates it.
+func Load(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := gob.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// summaryHeader is the column layout of WriteSummaryCSV.
+var summaryHeader = []string{
+	"vm_id", "subscription", "config", "cluster", "offering",
+	"cores", "memory_gb", "network_gbps", "ssd_gb",
+	"start_sample", "end_sample",
+	"cpu_max", "cpu_mean", "mem_max", "mem_mean",
+}
+
+// WriteSummaryCSV emits one row per VM with its allocation, lifetime and
+// aggregate utilization — the shape of the paper's long-term telemetry
+// store. It intentionally omits the raw series (use Save for those).
+func (tr *Trace) WriteSummaryCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(summaryHeader); err != nil {
+		return err
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		row := []string{
+			strconv.Itoa(vm.ID),
+			strconv.Itoa(vm.Subscription),
+			tr.Configs[vm.Config].Name,
+			strconv.Itoa(vm.Cluster),
+			vm.Offering.String(),
+			f(vm.Alloc[0]), f(vm.Alloc[1]), f(vm.Alloc[2]), f(vm.Alloc[3]),
+			strconv.Itoa(vm.Start), strconv.Itoa(vm.End),
+			f(vm.Util[0].Max()), f(vm.Util[0].Mean()),
+			f(vm.Util[1].Max()), f(vm.Util[1].Mean()),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
