@@ -10,6 +10,7 @@
 package coach
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -85,12 +86,48 @@ func BenchmarkTable1Fungibility(b *testing.B) { benchExperiment(b, "tab1") }
 func BenchmarkTable2Workloads(b *testing.B)   { benchExperiment(b, "tab2") }
 func BenchmarkSec45Overheads(b *testing.B)    { benchExperiment(b, "sec45") }
 
-// Ablations (beyond the paper; see DESIGN.md §5).
+// Ablations (beyond the paper; see docs/DESIGN.md §5).
 
 func BenchmarkAblationWindows(b *testing.B)    { benchExperiment(b, "abl-windows") }
 func BenchmarkAblationPercentile(b *testing.B) { benchExperiment(b, "abl-percentile") }
 func BenchmarkAblationForest(b *testing.B)     { benchExperiment(b, "abl-forest") }
 func BenchmarkAblationMonitor(b *testing.B)    { benchExperiment(b, "abl-monitor") }
+
+// BenchmarkSimRunParallel measures the sharded cluster-simulation engine
+// (docs/DESIGN.md §6) at 1/2/4/8 workers on the small-scale trace. The
+// predictor is trained once outside the timed region so the benchmark
+// isolates the replay engine the worker pool parallelizes.
+func BenchmarkSimRunParallel(b *testing.B) {
+	ctx := benchContext()
+	tr, err := ctx.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := ctx.Model(95)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet := NewFleet(DefaultClusters(40))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := SimConfigForPolicy(PolicyCoach)
+			cfg.TrainUpTo = tr.Horizon / 2
+			cfg.Model = model
+			cfg.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(tr, fleet, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Placed == 0 {
+					b.Fatal("nothing placed")
+				}
+			}
+		})
+	}
+}
 
 // Micro-benchmarks of the hot paths underlying the experiments.
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	coach-sim [-scale small|medium|full] [-policy None|Single|Coach|AggrCoach|all]
-//	          [-percentile 95] [-windows 6] [-fleet-frac 0.55]
+//	          [-percentile 95] [-windows 6] [-fleet-frac 0.55] [-workers 0]
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	percentile := flag.Float64("percentile", 0, "override prediction percentile (0 = policy default)")
 	windows := flag.Int("windows", 6, "time windows per day")
 	fleetFrac := flag.Float64("fleet-frac", 0.55, "fleet capacity as a fraction of peak demand")
+	workers := flag.Int("workers", 0, "shard replay workers (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 
 	s, err := experiments.ParseScale(*scale)
@@ -58,6 +59,7 @@ func main() {
 		cfg := sim.ConfigForPolicy(p)
 		cfg.Windows = timeseries.Windows{PerDay: *windows}
 		cfg.TrainUpTo = tr.Horizon / 2
+		cfg.Workers = *workers
 		if *percentile > 0 {
 			cfg.Percentile = *percentile
 		}

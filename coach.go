@@ -193,7 +193,9 @@ func NewWorkloadRunner(spec Workload, vm *VMMemory, cfg memsim.Config) (*Workloa
 
 // Cluster-scale simulation.
 type (
-	// SimConfig parameterizes a cluster simulation run.
+	// SimConfig parameterizes a cluster simulation run. Its Workers
+	// field bounds how many cluster shards replay concurrently
+	// (0 = GOMAXPROCS); the Result is identical for any value.
 	SimConfig = sim.Config
 	// SimResult summarizes capacity and violations.
 	SimResult = sim.Result
@@ -202,7 +204,11 @@ type (
 // SimConfigForPolicy returns the §4.3 configuration for a policy.
 func SimConfigForPolicy(p PolicyKind) SimConfig { return sim.ConfigForPolicy(p) }
 
-// Simulate replays tr against fleet under cfg.
+// Simulate replays tr against fleet under cfg. The fleet is partitioned
+// into one independent shard per cluster and shards replay concurrently
+// on a worker pool (see SimConfig.Workers); per-shard results merge
+// deterministically, so the Result is byte-identical for any worker
+// count.
 func Simulate(tr *Trace, fleet *Fleet, cfg SimConfig) (*SimResult, error) {
 	return sim.Run(tr, fleet, cfg)
 }

@@ -1,0 +1,3 @@
+module github.com/coach-oss/coach
+
+go 1.21

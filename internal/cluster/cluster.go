@@ -121,6 +121,22 @@ func (f *Fleet) ClusterServers(ci int) []*Server {
 	return out
 }
 
+// NumClusters returns the number of clusters in the fleet.
+func (f *Fleet) NumClusters() int { return len(f.Clusters) }
+
+// Shards groups the fleet's servers by cluster: one slice per cluster, in
+// cluster order. Clusters never share VMs in the scheduler, so each group
+// is an independently schedulable shard; the sim package replays shards
+// concurrently.
+func (f *Fleet) Shards() [][]*Server {
+	shards := make([][]*Server, len(f.Clusters))
+	for i := range f.Servers {
+		ci := f.Servers[i].Cluster
+		shards[ci] = append(shards[ci], &f.Servers[i])
+	}
+	return shards
+}
+
 // TotalCapacity returns the fleet-wide capacity vector.
 func (f *Fleet) TotalCapacity() resources.Vector {
 	var total resources.Vector

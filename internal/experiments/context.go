@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/predict"
@@ -72,10 +73,14 @@ func (s Scale) genConfig() trace.GenConfig {
 }
 
 // Context carries lazily built, cached artifacts shared across
-// experiments: the synthetic trace, fleets, and trained predictors.
+// experiments: the synthetic trace, fleets, and trained predictors. It is
+// safe for concurrent use, so independent experiments can run in parallel
+// over one context (cmd/coach-experiments -parallel); cached artifacts are
+// built at most once and shared read-only afterwards.
 type Context struct {
 	Scale Scale
 
+	mu     sync.Mutex
 	tr     *trace.Trace
 	models map[float64]*predict.LongTerm
 }
@@ -87,6 +92,12 @@ func NewContext(scale Scale) *Context {
 
 // Trace returns the context's trace, generating it on first use.
 func (c *Context) Trace() (*trace.Trace, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.traceLocked()
+}
+
+func (c *Context) traceLocked() (*trace.Trace, error) {
 	if c.tr == nil {
 		tr, err := trace.Generate(c.Scale.genConfig())
 		if err != nil {
@@ -100,10 +111,12 @@ func (c *Context) Trace() (*trace.Trace, error) {
 // Model returns a long-term predictor trained on the trace's first week at
 // the given percentile, caching per percentile.
 func (c *Context) Model(percentile float64) (*predict.LongTerm, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if m, ok := c.models[percentile]; ok {
 		return m, nil
 	}
-	tr, err := c.Trace()
+	tr, err := c.traceLocked()
 	if err != nil {
 		return nil, err
 	}

@@ -7,7 +7,7 @@
 // The simulator is a deterministic fluid model at GB granularity: page
 // populations are tracked as continuous quantities and access latencies as
 // mixtures over (PA hit, VA hit, page fault). This substitutes for the
-// paper's production Hyper-V server (see DESIGN.md §2): absolute numbers
+// paper's production Hyper-V server (see docs/DESIGN.md §2): absolute numbers
 // differ, but the interactions that produce Figs. 15, 18 and 21 — working
 // set vs. PA size, pool exhaustion, eviction storms, mitigation bandwidth —
 // are modeled directly.

@@ -30,15 +30,33 @@ type Scheduler struct {
 
 // New builds a scheduler over the fleet with empty servers.
 func New(fleet *cluster.Fleet, w timeseries.Windows) (*Scheduler, error) {
-	if err := w.Validate(); err != nil {
-		return nil, err
-	}
 	if err := fleet.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Scheduler{windows: w, placement: make(map[int]int)}
+	servers := make([]*cluster.Server, 0, len(fleet.Servers))
 	for i := range fleet.Servers {
-		srv := &fleet.Servers[i]
+		servers = append(servers, &fleet.Servers[i])
+	}
+	return NewOverServers(servers, w)
+}
+
+// NewOverServers builds a scheduler restricted to an explicit server subset
+// — a per-cluster view of the fleet. The sim package uses one such view per
+// cluster shard so shards can be replayed concurrently without sharing
+// state. Server indices returned by Place/ServerOf are positions in the
+// given slice, not fleet-wide IDs.
+func NewOverServers(servers []*cluster.Server, w timeseries.Windows) (*Scheduler, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("scheduler: no servers")
+	}
+	s := &Scheduler{windows: w, placement: make(map[int]int)}
+	for _, srv := range servers {
+		if !srv.Capacity().Positive() {
+			return nil, fmt.Errorf("scheduler: server %d has non-positive capacity %v", srv.ID, srv.Capacity())
+		}
 		s.servers = append(s.servers, &ServerState{
 			Server: srv,
 			Pool:   coachvm.NewPool(srv.Capacity(), w),

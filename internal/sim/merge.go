@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"sort"
+
+	"github.com/coach-oss/coach/internal/scheduler"
+)
+
+// merge folds per-shard results into one fleet-wide Result. It is fully
+// deterministic: counters are summed in shard order, the fleet's peak
+// occupied-server count is taken over the element-wise sum of the shards'
+// per-tick usage (per-shard peaks occur at different ticks and must not be
+// added), and outcomes are sorted by VMID. The output is therefore
+// byte-identical for any worker count.
+func merge(policy scheduler.PolicyKind, shardResults []*shardResult, ticks int) *Result {
+	res := &Result{Policy: policy}
+	usedByTick := make([]int, ticks)
+	for _, sr := range shardResults {
+		res.Requested += sr.requested
+		res.Placed += sr.placed
+		res.Rejected += sr.rejected
+		res.Oversubscribed += sr.oversubscribed
+		res.ServerTicks += sr.serverTicks
+		res.CPUViolations += sr.cpuViolations
+		res.MemViolations += sr.memViolations
+		for t, u := range sr.usedByTick {
+			usedByTick[t] += u
+		}
+		res.Outcomes = append(res.Outcomes, sr.outcomes...)
+	}
+	for _, u := range usedByTick {
+		if u > res.UsedServers {
+			res.UsedServers = u
+		}
+	}
+	sort.Slice(res.Outcomes, func(i, j int) bool {
+		return res.Outcomes[i].VMID < res.Outcomes[j].VMID
+	})
+	return res
+}

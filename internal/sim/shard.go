@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"sort"
+
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/predict"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/scheduler"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// event is one VM arrival or departure in a shard's replay stream.
+type event struct {
+	sample  int
+	arrival bool
+	vm      *trace.VM
+}
+
+// shard is one independently replayable partition of the simulation: the
+// servers of a single cluster plus the event stream of the VMs homed
+// there. Clusters never share VMs in the scheduler, so shards exchange no
+// state during replay and can run concurrently.
+type shard struct {
+	index  int
+	sched  *scheduler.Scheduler // nil when the cluster has no servers
+	events []event
+}
+
+// shardResult is the per-shard slice of Result, merged by merge().
+type shardResult struct {
+	requested      int
+	placed         int
+	rejected       int
+	oversubscribed int
+	serverTicks    int
+	cpuViolations  int
+	memViolations  int
+	// usedByTick[t-TrainUpTo] is the shard's occupied-server count at
+	// tick t; merge sums these element-wise before taking the fleet peak,
+	// since per-shard peaks at different ticks must not be added.
+	usedByTick []int
+	outcomes   []VMOutcome
+}
+
+// buildShards partitions the fleet into per-cluster shards and routes each
+// VM's arrival/departure events to its home cluster's shard. VM cluster
+// indices are folded modulo the fleet's cluster count so traces generated
+// for the default ten clusters replay on smaller fleets too.
+func buildShards(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) ([]*shard, error) {
+	groups := fleet.Shards()
+	shards := make([]*shard, len(groups))
+	for i, servers := range groups {
+		sh := &shard{index: i}
+		if len(servers) > 0 {
+			sched, err := scheduler.NewOverServers(servers, cfg.Windows)
+			if err != nil {
+				return nil, err
+			}
+			sh.sched = sched
+		}
+		shards[i] = sh
+	}
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.End <= cfg.TrainUpTo {
+			continue
+		}
+		at := vm.Start
+		if at < cfg.TrainUpTo {
+			at = cfg.TrainUpTo
+		}
+		sh := shards[shardIndex(vm, len(shards))]
+		sh.events = append(sh.events, event{sample: at, arrival: true, vm: vm})
+		sh.events = append(sh.events, event{sample: vm.End, arrival: false, vm: vm})
+	}
+	for _, sh := range shards {
+		evs := sh.events
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].sample != evs[j].sample {
+				return evs[i].sample < evs[j].sample
+			}
+			// Departures before arrivals at the same tick frees capacity first.
+			return !evs[i].arrival && evs[j].arrival
+		})
+	}
+	return shards, nil
+}
+
+func shardIndex(vm *trace.VM, n int) int {
+	c := vm.Cluster % n
+	if c < 0 {
+		c += n
+	}
+	return c
+}
+
+// placedRec tracks one placed VM's incremental-accounting state.
+type placedRec struct {
+	vm  *trace.VM
+	srv int // index into the shard scheduler's server slice
+	// last is the demand vector currently accumulated into the server's
+	// running total for this VM.
+	last resources.Vector
+	// synced is set once last reflects a delta pass; until then the
+	// unchanged-sample fast path must not fire (a VM arriving mid-life
+	// can have an unchanged but nonzero sample at its arrival tick).
+	synced bool
+}
+
+// run replays the shard sequentially over the evaluation period. It is the
+// single-threaded hot loop; Run schedules many of these on a worker pool.
+//
+// Contention is accounted incrementally: each placed VM's current demand
+// contribution is kept in its record and in a running per-server demand
+// vector, updated on arrival/departure and by a per-tick delta pass that
+// touches only VMs whose utilization sample changed — O(placed deltas +
+// occupied servers) per tick instead of the former O(fleet servers +
+// placed) full rebuild. All updates happen in deterministic (event/slice)
+// order, so float sums are bit-reproducible across runs and worker counts.
+func (sh *shard) run(tr *trace.Trace, model *predict.LongTerm, cfg Config) (*shardResult, error) {
+	ticks := tr.Horizon - cfg.TrainUpTo
+	sr := &shardResult{usedByTick: make([]int, ticks)}
+
+	var servers []*scheduler.ServerState
+	if sh.sched != nil {
+		servers = sh.sched.Servers()
+	}
+	demand := make([]resources.Vector, len(servers))
+	vmCount := make([]int, len(servers))
+	cpuLimit := make([]float64, len(servers))
+	for i, st := range servers {
+		cpuLimit[i] = cfg.CPUContentionFrac * st.Server.Capacity()[resources.CPU]
+	}
+
+	var (
+		recs []placedRec
+		zero resources.Vector
+	)
+	pos := make(map[int]int) // VM ID -> index into recs
+	used := 0
+	ei := 0
+	for t := cfg.TrainUpTo; t < tr.Horizon; t++ {
+		for ei < len(sh.events) && sh.events[ei].sample == t {
+			ev := sh.events[ei]
+			ei++
+			if !ev.arrival {
+				p, ok := pos[ev.vm.ID]
+				if !ok {
+					continue // was rejected on arrival
+				}
+				r := recs[p]
+				demand[r.srv] = demand[r.srv].Sub(r.last)
+				vmCount[r.srv]--
+				if vmCount[r.srv] == 0 {
+					used--
+					// Reset to cancel residual float drift from the
+					// incremental adds and subtracts.
+					demand[r.srv] = zero
+				}
+				sh.sched.Remove(ev.vm.ID)
+				last := len(recs) - 1
+				recs[p] = recs[last]
+				pos[recs[p].vm.ID] = p
+				recs = recs[:last]
+				delete(pos, ev.vm.ID)
+				continue
+			}
+			sr.requested++
+			var pred coachvm.Prediction
+			ok := false
+			if model != nil {
+				pred, ok = model.Predict(tr, ev.vm)
+			}
+			cvm, err := scheduler.BuildCVM(cfg.Policy, ev.vm.ID, ev.vm.Alloc, pred, ok, cfg.Windows)
+			if err != nil {
+				return nil, err
+			}
+			if sh.sched == nil {
+				sr.rejected++
+				continue
+			}
+			srv, placedOK := sh.sched.Place(cvm)
+			if !placedOK {
+				sr.rejected++
+				continue
+			}
+			sr.placed++
+			if vmCount[srv] == 0 {
+				used++
+			}
+			vmCount[srv]++
+			pos[ev.vm.ID] = len(recs)
+			recs = append(recs, placedRec{vm: ev.vm, srv: srv})
+			if ok && cfg.Policy != scheduler.PolicyNone {
+				sr.oversubscribed++
+				sr.outcomes = append(sr.outcomes, outcome(ev.vm, cvm, cfg))
+			}
+		}
+
+		// Delta pass: fold each placed VM's demand change into its
+		// server's running total.
+		for i := range recs {
+			r := &recs[i]
+			if r.synced && utilUnchanged(r.vm, t) {
+				continue
+			}
+			cur := r.vm.DemandAt(t)
+			if cur != r.last {
+				demand[r.srv] = demand[r.srv].Add(cur.Sub(r.last))
+				r.last = cur
+			}
+			r.synced = true
+		}
+
+		sr.usedByTick[t-cfg.TrainUpTo] = used
+		for i := range servers {
+			if vmCount[i] == 0 {
+				continue
+			}
+			sr.serverTicks++
+			if demand[i][resources.CPU] > cpuLimit[i] {
+				sr.cpuViolations++
+			}
+			// Memory contention: utilized memory beyond the physically
+			// backed amount pages to disk (§4.3).
+			if demand[i][resources.Memory] > servers[i].Pool.Backed()[resources.Memory]+1e-9 {
+				sr.memViolations++
+			}
+		}
+	}
+	return sr, nil
+}
+
+// utilUnchanged reports whether every resource's utilization sample at
+// trace tick t equals the previous tick's, in which case the VM's demand —
+// and therefore its server's running total — needs no update.
+func utilUnchanged(vm *trace.VM, t int) bool {
+	i := t - vm.Start
+	if i <= 0 {
+		return false
+	}
+	for _, k := range resources.Kinds {
+		s := vm.Util[k]
+		if i >= len(s) {
+			// Outside the recorded series both samples read as zero
+			// unless i-1 is the final sample.
+			if i-1 < len(s) && s[i-1] != 0 {
+				return false
+			}
+			continue
+		}
+		if s[i] != s[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -8,11 +8,19 @@
 // for each server using the 5-minute data and estimate the contention."
 // This package follows the same structure with our reimplemented
 // scheduler and synthetic traces.
+//
+// The engine is sharded: the fleet is partitioned by cluster, each VM's
+// event stream is routed to its home cluster's shard, and shards replay
+// concurrently on a bounded worker pool (Config.Workers) with incremental
+// per-server demand accounting inside each shard. Results merge
+// deterministically, so output is independent of the worker count. See
+// docs/DESIGN.md §6.
 package sim
 
 import (
 	"fmt"
-	"sort"
+	"runtime"
+	"sync"
 
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/coachvm"
@@ -43,6 +51,15 @@ type Config struct {
 	// (§4.3: "CPU contention occurs when demand exceeds 50% of the
 	// server capacity" — the hyperthread-sharing threshold).
 	CPUContentionFrac float64
+	// Workers bounds how many cluster shards are replayed concurrently.
+	// 0 (the default) uses runtime.GOMAXPROCS(0); 1 replays serially.
+	// The merged Result is byte-identical for any value.
+	Workers int
+	// Model optionally supplies a pre-trained long-term predictor to
+	// reuse across runs (it must have been trained on the same trace up
+	// to TrainUpTo with matching Windows/Percentile). When nil, Run
+	// trains its own unless Policy is PolicyNone.
+	Model *predict.LongTerm
 }
 
 // DefaultConfig returns the Coach policy configuration.
@@ -150,16 +167,29 @@ func (r *Result) UnderAllocFrac(k resources.Kind) float64 {
 
 // Run executes one simulation over the evaluation period of tr
 // ([cfg.TrainUpTo, horizon)) on the given fleet.
+//
+// The fleet is partitioned into one shard per cluster (clusters never
+// share VMs in the scheduler, so shards are independent), each VM's
+// arrival/departure events are routed to its home cluster's shard, and
+// shards replay concurrently on a worker pool bounded by cfg.Workers.
+// Per-shard results are merged deterministically — the Result (including
+// Outcomes order, sorted by VMID) is byte-identical for any worker count.
 func Run(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Result, error) {
 	if cfg.TrainUpTo <= 0 || cfg.TrainUpTo >= tr.Horizon {
 		return nil, fmt.Errorf("sim: TrainUpTo %d outside (0,%d)", cfg.TrainUpTo, tr.Horizon)
 	}
-	ltCfg := cfg.LongTerm
-	ltCfg.Windows = cfg.Windows
-	ltCfg.Percentile = cfg.Percentile
+	if fleet.NumClusters() == 0 {
+		return nil, fmt.Errorf("sim: fleet has no clusters")
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
 
-	var model *predict.LongTerm
-	if cfg.Policy != scheduler.PolicyNone {
+	model := cfg.Model
+	if model == nil && cfg.Policy != scheduler.PolicyNone {
+		ltCfg := cfg.LongTerm
+		ltCfg.Windows = cfg.Windows
+		ltCfg.Percentile = cfg.Percentile
 		var err error
 		model, err = predict.TrainLongTerm(tr, cfg.TrainUpTo, ltCfg)
 		if err != nil {
@@ -167,114 +197,51 @@ func Run(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Result, error) {
 		}
 	}
 
-	sched, err := scheduler.New(fleet, cfg.Windows)
+	shards, err := buildShards(tr, fleet, cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	// Build the event list: VMs live during the evaluation period arrive
-	// at max(Start, TrainUpTo) and depart at End.
-	type event struct {
-		sample  int
-		arrival bool
-		vm      *trace.VM
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	var events []event
-	for i := range tr.VMs {
-		vm := &tr.VMs[i]
-		if vm.End <= cfg.TrainUpTo {
-			continue
-		}
-		at := vm.Start
-		if at < cfg.TrainUpTo {
-			at = cfg.TrainUpTo
-		}
-		events = append(events, event{sample: at, arrival: true, vm: vm})
-		events = append(events, event{sample: vm.End, arrival: false, vm: vm})
+	if workers > len(shards) {
+		workers = len(shards)
 	}
-	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].sample != events[j].sample {
-			return events[i].sample < events[j].sample
-		}
-		// Departures before arrivals at the same tick frees capacity first.
-		return !events[i].arrival && events[j].arrival
-	})
 
-	res := &Result{Policy: cfg.Policy}
-	placed := make(map[int]*trace.VM)
-	ei := 0
-	for t := cfg.TrainUpTo; t < tr.Horizon; t++ {
-		for ei < len(events) && events[ei].sample == t {
-			ev := events[ei]
-			ei++
-			if !ev.arrival {
-				if _, ok := placed[ev.vm.ID]; ok {
-					sched.Remove(ev.vm.ID)
-					delete(placed, ev.vm.ID)
+	results := make([]*shardResult, len(shards))
+	errs := make([]error, len(shards))
+	if workers <= 1 {
+		for i, sh := range shards {
+			results[i], errs[i] = sh.run(tr, model, cfg)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = shards[i].run(tr, model, cfg)
 				}
-				continue
-			}
-			res.Requested++
-			var pred coachvm.Prediction
-			ok := false
-			if model != nil {
-				pred, ok = model.Predict(tr, ev.vm)
-			}
-			cvm, err := scheduler.BuildCVM(cfg.Policy, ev.vm.ID, ev.vm.Alloc, pred, ok, cfg.Windows)
-			if err != nil {
-				return nil, err
-			}
-			if _, placedOK := sched.Place(cvm); placedOK {
-				res.Placed++
-				placed[ev.vm.ID] = ev.vm
-				if ok && cfg.Policy != scheduler.PolicyNone {
-					res.Oversubscribed++
-					res.Outcomes = append(res.Outcomes, outcome(ev.vm, cvm, cfg))
-				}
-			} else {
-				res.Rejected++
-			}
+			}()
 		}
-		used := accountContention(sched, placed, t, cfg, res)
-		if used > res.UsedServers {
-			res.UsedServers = used
+		for i := range shards {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	// Report the lowest-indexed shard's error so failures are independent
+	// of scheduling order.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	return res, nil
-}
-
-// accountContention sums each used server's actual demand at tick t,
-// counts CPU/memory violations, and returns the number of occupied
-// servers.
-func accountContention(s *scheduler.Scheduler, placed map[int]*trace.VM, t int, cfg Config, res *Result) (used int) {
-	servers := s.Servers()
-	demand := make([]resources.Vector, len(servers))
-	active := make([]bool, len(servers))
-	for id, vm := range placed {
-		idx := s.ServerOf(id)
-		if idx < 0 {
-			continue
-		}
-		demand[idx] = demand[idx].Add(vm.DemandAt(t))
-		active[idx] = true
-	}
-	for i, st := range servers {
-		if !active[i] {
-			continue
-		}
-		used++
-		res.ServerTicks++
-		cap := st.Server.Capacity()
-		if demand[i][resources.CPU] > cfg.CPUContentionFrac*cap[resources.CPU] {
-			res.CPUViolations++
-		}
-		// Memory contention: utilized memory beyond the physically backed
-		// amount pages to disk (§4.3).
-		if demand[i][resources.Memory] > st.Pool.Backed()[resources.Memory]+1e-9 {
-			res.MemViolations++
-		}
-	}
-	return used
+	return merge(cfg.Policy, results, tr.Horizon-cfg.TrainUpTo), nil
 }
 
 // outcome compares a CVM's guaranteed (percentile-based) allocation

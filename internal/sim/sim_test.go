@@ -41,6 +41,15 @@ func TestRunValidation(t *testing.T) {
 	if _, err := Run(tr, fleet, cfg); err == nil {
 		t.Error("TrainUpTo beyond horizon must fail")
 	}
+	cfg = DefaultConfig()
+	cfg.TrainUpTo = tr.Horizon / 2
+	bad := &cluster.Fleet{
+		Clusters: cluster.DefaultClusters(1)[:2],
+		Servers:  []cluster.Server{{ID: 0, Cluster: 5, Spec: cluster.Generations[0]}},
+	}
+	if _, err := Run(tr, bad, cfg); err == nil {
+		t.Error("fleet with out-of-range cluster index must fail, not panic")
+	}
 }
 
 func runPolicy(t *testing.T, p scheduler.PolicyKind) *Result {

@@ -6,7 +6,7 @@
 // VMs: allocation/deallocation times, resource allocation, host server, and
 // per-resource maximum utilization at 5-minute intervals. We reproduce that
 // schema exactly; the generator is the substitute for the proprietary
-// production trace (see DESIGN.md §2).
+// production trace (see docs/DESIGN.md §2).
 package trace
 
 import (

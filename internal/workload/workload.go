@@ -5,7 +5,7 @@
 //
 // These synthetic models substitute for the real applications
 // (memcached, SQL, TeraSort, SpecJBB, YCSB-style KV, PageRank,
-// DeathStarBench, BERT fine-tuning, video conferencing) — see DESIGN.md §2.
+// DeathStarBench, BERT fine-tuning, video conferencing) — see docs/DESIGN.md §2.
 // What Fig. 18/21 measure is the interaction between working set, PA/VA
 // split and paging, which the models encode per workload.
 package workload
