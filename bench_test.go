@@ -12,9 +12,12 @@ package coach
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/coach-oss/coach/internal/experiments"
+	"github.com/coach-oss/coach/internal/trace"
 )
 
 var (
@@ -126,6 +129,87 @@ func BenchmarkSimRunParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkServeThroughput measures the serving layer's prediction hot
+// path (docs/DESIGN.md §7) at 1/8/64 concurrent clients, comparing the
+// unbatched per-request path against the batcher that coalesces
+// concurrent requests into single forest passes. Requests draw from the
+// evaluation-period VM population (the arrivals an admission service
+// actually sees), which exercises the forest path rather than the cheap
+// own-history path. The model is trained once outside the timed region
+// via a shared cache. On a single-CPU host the win shows up in
+// allocations/op (amortized feature rows and window slices) more than in
+// wall time; on multi-core hardware batched passes also reclaim the
+// per-request dispatch overhead.
+func BenchmarkServeThroughput(b *testing.B) {
+	ctx := benchContext()
+	tr, err := ctx.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fresh []*trace.VM
+	for i := range tr.VMs {
+		if tr.VMs[i].Start >= tr.Horizon/2 {
+			fresh = append(fresh, &tr.VMs[i])
+		}
+	}
+	if len(fresh) == 0 {
+		b.Fatal("no evaluation-period VMs")
+	}
+	cache := NewModelCache()
+	for _, mode := range []struct {
+		name     string
+		disabled bool
+	}{
+		{"unbatched", true},
+		{"batched", false},
+	} {
+		for _, clients := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mode.name, clients), func(b *testing.B) {
+				cfg := DefaultServiceConfig()
+				cfg.Cache = cache
+				cfg.Batch.Disabled = mode.disabled
+				// A small straggler window lets batches form even on a
+				// single CPU, where the purely opportunistic drain runs
+				// before concurrent clients get scheduled to enqueue.
+				cfg.Batch.MaxWait = time.Millisecond
+				svc, err := NewService(tr, NewFleet(DefaultClusters(8)), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				if err := svc.Warm(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / clients
+				if b.N%clients != 0 {
+					per++
+				}
+				var failed atomic.Bool
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							vm := fresh[(c*per+i)%len(fresh)]
+							if _, _, err := svc.Predict(vm); err != nil {
+								failed.Store(true)
+								return
+							}
+						}
+					}(c)
+				}
+				wg.Wait()
+				if failed.Load() {
+					b.Fatal("prediction failed")
+				}
+			})
+		}
 	}
 }
 

@@ -1,11 +1,11 @@
-// Command coach-server runs the single-server experiments: the PA/VA
+// Command coach-experiments-single runs the single-server experiments: the PA/VA
 // trade-off (Fig. 15), workload performance across VM configurations
 // (Fig. 18), contention mitigation (Fig. 21) and platform overheads
 // (§4.5).
 //
 // Usage:
 //
-//	coach-server [-scale small|medium|full] [-run fig15,fig18,fig21,sec45]
+//	coach-experiments-single [-scale small|medium|full] [-run fig15,fig18,fig21,sec45]
 package main
 
 import (
@@ -46,6 +46,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "coach-server:", err)
+	fmt.Fprintln(os.Stderr, "coach-experiments-single:", err)
 	os.Exit(1)
 }

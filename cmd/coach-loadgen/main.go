@@ -1,0 +1,178 @@
+// Command coach-loadgen drives a running coachd with concurrent clients
+// and reports throughput and latency percentiles. Each client loops over
+// a deterministic per-client stream of VM ids, issuing predictions plus a
+// configurable fraction of admit/release pairs.
+//
+// Usage:
+//
+//	coach-loadgen [-addr http://localhost:8080] [-clients 16]
+//	              [-requests 2000] [-admit-frac 0.25] [-vms 500] [-seed 1]
+//
+// -vms must match the served trace's VM population (coachd -scale small
+// serves 500 VMs); unknown ids count as errors. Example output:
+//
+//	clients=16 requests=2000 errors=0  wall=1.32s  1515.2 req/s
+//	latency: p50=9.1ms p95=22.4ms p99=31.0ms max=48.2ms
+//	server:  batches=163 mean-size=11.9 cache hits/misses=0/1
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/coach-oss/coach/internal/serve"
+	"github.com/coach-oss/coach/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "coachd base URL")
+	clients := flag.Int("clients", 16, "concurrent clients")
+	requests := flag.Int("requests", 2000, "total requests across all clients")
+	admitFrac := flag.Float64("admit-frac", 0.25, "fraction of requests that are admit (each later released)")
+	vms := flag.Int("vms", 500, "VM id space to draw from (must match the served trace)")
+	seed := flag.Int64("seed", 1, "base RNG seed (client i uses seed+i)")
+	flag.Parse()
+
+	if err := run(*addr, *clients, *requests, *admitFrac, *vms, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "coach-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// result collects one client's measurements.
+type result struct {
+	latencies []float64 // seconds
+	errors    int
+}
+
+func run(addr string, clients, requests int, admitFrac float64, vms int, seed int64) error {
+	if clients < 1 || requests < 1 {
+		return fmt.Errorf("clients and requests must be positive")
+	}
+	if err := check(addr + "/healthz"); err != nil {
+		return fmt.Errorf("coachd not reachable at %s: %w", addr, err)
+	}
+
+	perClient := requests / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			results[c] = client(addr, perClient, admitFrac, vms, seed+int64(c))
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []float64
+	errors := 0
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		errors += r.errors
+	}
+	sort.Float64s(all)
+	total := len(all)
+	fmt.Printf("clients=%d requests=%d errors=%d  wall=%s  %.1f req/s\n",
+		clients, total, errors, wall.Round(time.Millisecond), float64(total)/wall.Seconds())
+	if total > 0 {
+		fmt.Printf("latency: p50=%s p95=%s p99=%s max=%s\n",
+			dur(stats.PercentileSorted(all, 50)), dur(stats.PercentileSorted(all, 95)),
+			dur(stats.PercentileSorted(all, 99)), dur(all[total-1]))
+	}
+
+	var st serve.Stats
+	if err := getJSON(addr+"/v1/stats", &st); err == nil {
+		fmt.Printf("server:  batches=%d mean-size=%.1f cache hits/misses=%d/%d\n",
+			st.Batch.Batches, st.Batch.MeanSize, st.Cache.Hits, st.Cache.Misses)
+	}
+	if errors > 0 {
+		return fmt.Errorf("%d requests failed", errors)
+	}
+	return nil
+}
+
+// client issues n requests against the service, timing each round trip.
+func client(addr string, n int, admitFrac float64, vms int, seed int64) result {
+	rng := rand.New(rand.NewSource(seed))
+	var res result
+	for i := 0; i < n; i++ {
+		id := rng.Intn(vms)
+		body := fmt.Sprintf(`{"vm": %d}`, id)
+		if rng.Float64() < admitFrac {
+			// Admit then immediately release, so the fleet does not fill
+			// up over a long run and every admit exercises placement.
+			t0 := time.Now()
+			code, err := post(addr+"/v1/admit", body)
+			res.latencies = append(res.latencies, time.Since(t0).Seconds())
+			// 409 (already admitted by a colliding client) is contention,
+			// not failure; only transport and 5xx errors count.
+			if err != nil || code >= 500 {
+				res.errors++
+				continue
+			}
+			if code == http.StatusOK {
+				if _, err := post(addr+"/v1/release", body); err != nil {
+					res.errors++
+				}
+			}
+			continue
+		}
+		t0 := time.Now()
+		code, err := post(addr+"/v1/predict", body)
+		res.latencies = append(res.latencies, time.Since(t0).Seconds())
+		if err != nil || code != http.StatusOK {
+			res.errors++
+		}
+	}
+	return res
+}
+
+func post(url, body string) (int, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func check(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func dur(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second)).Round(10 * time.Microsecond)
+}

@@ -1,0 +1,139 @@
+// Command coachd is the Coach admission server: a long-running HTTP/JSON
+// service exposing the prediction-and-admission control plane
+// (internal/serve) over a synthetic trace and fleet. It is "server" in
+// this repo's vocabulary — the offline experiment harnesses live in
+// cmd/coach-experiments and cmd/coach-experiments-single.
+//
+// Usage:
+//
+//	coachd [-addr :8080] [-scale small|medium|full] [-servers N]
+//	       [-policy none|single|coach|aggrcoach]
+//	       [-batch-max N] [-batch-wait D] [-no-batch] [-lazy-train]
+//
+// On start, coachd generates the trace for the chosen scale, trains the
+// long-term predictor on the first half (unless -lazy-train defers that
+// to the first request), and serves until SIGINT/SIGTERM, then shuts
+// down gracefully: in-flight requests finish, the prediction batcher
+// drains, new requests get 503.
+//
+// Endpoints (full schemas and curl examples in docs/api.md):
+//
+//	GET  /healthz     GET  /v1/stats
+//	POST /v1/predict  POST /v1/admit  POST /v1/release
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/experiments"
+	"github.com/coach-oss/coach/internal/scheduler"
+	"github.com/coach-oss/coach/internal/serve"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.String("scale", "small", "trace scale: small, medium or full")
+	servers := flag.Int("servers", 8, "servers per cluster in the ten-cluster fleet")
+	policy := flag.String("policy", "coach", "oversubscription policy: none, single, coach or aggrcoach")
+	batchMax := flag.Int("batch-max", 64, "max prediction requests coalesced into one forest pass")
+	batchWait := flag.Duration("batch-wait", 0, "max wait for stragglers per batch (0 = opportunistic)")
+	noBatch := flag.Bool("no-batch", false, "disable the prediction batcher (per-request inference)")
+	lazyTrain := flag.Bool("lazy-train", false, "defer model training to the first prediction request")
+	flag.Parse()
+
+	if err := run(*addr, *scale, *servers, *policy, *batchMax, *batchWait, *noBatch, *lazyTrain); err != nil {
+		fmt.Fprintln(os.Stderr, "coachd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, scale string, servers int, policy string, batchMax int, batchWait time.Duration, noBatch, lazyTrain bool) error {
+	pk, err := parsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	sc, err := experiments.ParseScale(scale)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("generating %s-scale trace", sc)
+	tr, err := trace.Generate(sc.GenConfig())
+	if err != nil {
+		return err
+	}
+	fleet := cluster.NewFleet(cluster.DefaultClusters(servers))
+
+	cfg := serve.DefaultConfig()
+	cfg.Policy = pk
+	cfg.Batch = serve.BatchConfig{Disabled: noBatch, MaxBatch: batchMax, MaxWait: batchWait}
+	svc, err := serve.New(tr, fleet, cfg)
+	if err != nil {
+		return err
+	}
+	if !lazyTrain {
+		start := time.Now()
+		if err := svc.Warm(); err != nil {
+			return err
+		}
+		log.Printf("model trained in %s", time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d VMs on %d servers (%d clusters, policy %s) at %s",
+			len(tr.VMs), len(fleet.Servers), fleet.NumClusters(), pk, addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = srv.Shutdown(shutdownCtx) // stop accepting, finish in-flight requests
+	svc.Close()                     // then drain the batcher
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	st := svc.Stats()
+	log.Printf("final: placed=%d batches=%d (mean size %.1f) cache hits/misses=%d/%d",
+		st.Placed, st.Batch.Batches, st.Batch.MeanSize, st.Cache.Hits, st.Cache.Misses)
+	return nil
+}
+
+func parsePolicy(s string) (scheduler.PolicyKind, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return scheduler.PolicyNone, nil
+	case "single":
+		return scheduler.PolicySingle, nil
+	case "coach":
+		return scheduler.PolicyCoach, nil
+	case "aggrcoach":
+		return scheduler.PolicyAggrCoach, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (none|single|coach|aggrcoach)", s)
+	}
+}

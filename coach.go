@@ -13,6 +13,10 @@
 //   - Simulate replays a trace against a fleet under a policy and reports
 //     capacity and violations (the paper's §4.3 evaluation).
 //   - RunExperiment regenerates any table or figure of the paper.
+//   - NewService builds the online serving entry point: a long-running,
+//     concurrency-safe prediction-and-admission service with batched
+//     forest inference and per-cluster sharded fleet state, exposed over
+//     HTTP by cmd/coachd (see docs/api.md).
 //
 // See the runnable programs under examples/ for end-to-end usage.
 package coach
@@ -29,6 +33,7 @@ import (
 	"github.com/coach-oss/coach/internal/report"
 	"github.com/coach-oss/coach/internal/resources"
 	"github.com/coach-oss/coach/internal/scheduler"
+	"github.com/coach-oss/coach/internal/serve"
 	"github.com/coach-oss/coach/internal/sim"
 	"github.com/coach-oss/coach/internal/timeseries"
 	"github.com/coach-oss/coach/internal/trace"
@@ -251,3 +256,43 @@ func RunExperiment(id, scale string) ([]*Table, error) {
 // DefaultMemoryConfig returns the hardware parameters of the simulated
 // server (latencies, bandwidths).
 func DefaultMemoryConfig() memsim.Config { return memsim.DefaultConfig() }
+
+// Serving.
+type (
+	// Service is the online prediction-and-admission server: the
+	// long-term predictor, time-window scheduler and CoachVM shaping
+	// behind a concurrency-safe API with batched inference. cmd/coachd
+	// serves it over HTTP (see docs/api.md); Service.Handler exposes the
+	// same API for embedding.
+	Service = serve.Service
+	// ServiceConfig parameterizes a Service: policy, windows, percentile,
+	// prediction batching and the shared trained-model cache.
+	ServiceConfig = serve.Config
+	// ServiceBatchConfig tunes how concurrent predictions coalesce into
+	// single forest passes.
+	ServiceBatchConfig = serve.BatchConfig
+	// ModelCache memoizes trained predictors by (trace, config) so cold
+	// starts pay forest training once; share one across Services to reuse
+	// models.
+	ModelCache = serve.ModelCache
+	// AdmitResult reports one admission decision.
+	AdmitResult = serve.AdmitResult
+	// ServiceStats snapshots admission counters, batching effectiveness
+	// and model-cache behaviour.
+	ServiceStats = serve.Stats
+)
+
+// NewModelCache returns an empty trained-model cache for sharing across
+// services.
+func NewModelCache() *ModelCache { return serve.NewModelCache() }
+
+// DefaultServiceConfig returns the deployed serving configuration: Coach
+// policy, 6x4h windows, P95, opportunistic batching.
+func DefaultServiceConfig() ServiceConfig { return serve.DefaultConfig() }
+
+// NewService builds a prediction-and-admission service over a trace and a
+// fleet. The model trains lazily through the config's cache on the first
+// prediction (or Service.Warm); Close drains in-flight requests.
+func NewService(tr *Trace, fleet *Fleet, cfg ServiceConfig) (*Service, error) {
+	return serve.New(tr, fleet, cfg)
+}

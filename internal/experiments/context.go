@@ -55,8 +55,10 @@ func ParseScale(s string) (Scale, error) {
 	}
 }
 
-// genConfig returns the trace generator configuration for a scale.
-func (s Scale) genConfig() trace.GenConfig {
+// GenConfig returns the trace generator configuration for a scale; the
+// cmd/ tools (including coachd) use it so every entry point at a given
+// scale serves the exact trace the tests and benchmarks use.
+func (s Scale) GenConfig() trace.GenConfig {
 	cfg := trace.DefaultGenConfig()
 	switch s {
 	case ScaleSmall:
@@ -99,7 +101,7 @@ func (c *Context) Trace() (*trace.Trace, error) {
 
 func (c *Context) traceLocked() (*trace.Trace, error) {
 	if c.tr == nil {
-		tr, err := trace.Generate(c.Scale.genConfig())
+		tr, err := trace.Generate(c.Scale.GenConfig())
 		if err != nil {
 			return nil, err
 		}

@@ -72,6 +72,48 @@ func (f *Forest) Predict(features []float64) float64 {
 	return sum / float64(len(f.trees))
 }
 
+// PredictBatch predicts every feature row in one ensemble pass, writing
+// into out when it has matching length (allocating otherwise) and returning
+// the slice used. The result is bit-identical to calling Predict per row —
+// each row's per-tree contributions accumulate in the same tree order and
+// the final division is the same operation — but the tree loop is the outer
+// loop, so one tree's node array stays hot in cache across the whole batch
+// and the per-tree dispatch overhead is amortized over all rows. Rows whose
+// length differs from the trained feature count predict 0, as in Predict.
+func (f *Forest) PredictBatch(rows [][]float64, out []float64) []float64 {
+	if len(out) != len(rows) {
+		out = make([]float64, len(rows))
+	} else {
+		for i := range out {
+			out[i] = 0
+		}
+	}
+	valid := true
+	for _, r := range rows {
+		if len(r) != f.nFeat {
+			valid = false
+			break
+		}
+	}
+	if !valid {
+		// Rare slow path: keep the hot loop free of per-row length checks.
+		for i, r := range rows {
+			out[i] = f.Predict(r)
+		}
+		return out
+	}
+	for _, t := range f.trees {
+		for i, r := range rows {
+			out[i] += t.Predict(r)
+		}
+	}
+	n := float64(len(f.trees))
+	for i := range out {
+		out[i] /= n
+	}
+	return out
+}
+
 // NumTrees returns the ensemble size.
 func (f *Forest) NumTrees() int { return len(f.trees) }
 

@@ -12,6 +12,7 @@ package predict
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/coach-oss/coach/internal/coachvm"
 	"github.com/coach-oss/coach/internal/mlforest"
@@ -85,6 +86,33 @@ type LongTerm struct {
 	maxForest [resources.NumKinds]*mlforest.Forest
 	history   map[int]*subscriptionHistory
 	trainRows int
+	// scratch recycles PredictBatch working buffers across batches (the
+	// serving hot path calls PredictBatch continuously); see batchScratch.
+	scratch sync.Pool
+}
+
+// batchScratch is the reusable working set of one PredictBatch call:
+// feature rows carved from one flat buffer plus the raw forest outputs.
+// Only buffers not retained by the returned Predictions live here.
+type batchScratch struct {
+	rows    [][]float64
+	featBuf []float64
+	pctOut  []float64
+	maxOut  []float64
+}
+
+// grow resizes the scratch for n rows of featureDim features.
+func (sc *batchScratch) grow(n int) {
+	if cap(sc.rows) < n {
+		sc.rows = make([][]float64, n)
+		sc.featBuf = make([]float64, n*featureDim)
+		sc.pctOut = make([]float64, n)
+		sc.maxOut = make([]float64, n)
+	}
+	sc.rows = sc.rows[:n]
+	sc.featBuf = sc.featBuf[:n*featureDim]
+	sc.pctOut = sc.pctOut[:n]
+	sc.maxOut = sc.maxOut[:n]
 }
 
 // TrainLongTerm fits the model on every VM of tr that ends (or is fully
@@ -188,6 +216,13 @@ func visibleSamples(vm *trace.VM, upToSample int) int {
 // features builds the feature vector for one (VM, resource, window).
 func (lt *LongTerm) features(tr *trace.Trace, vm *trace.VM, k resources.Kind, window int) []float64 {
 	f := make([]float64, featureDim)
+	lt.featuresInto(f, tr, vm, k, window)
+	return f
+}
+
+// featuresInto fills a caller-provided featureDim-length buffer; the
+// batched prediction path uses it to carve rows out of one allocation.
+func (lt *LongTerm) featuresInto(f []float64, tr *trace.Trace, vm *trace.VM, k resources.Kind, window int) {
 	f[0] = vm.Cores()
 	f[1] = vm.MemoryGB()
 	f[2] = vm.MemoryGB() / vm.Cores()
@@ -199,8 +234,9 @@ func (lt *LongTerm) features(tr *trace.Trace, vm *trace.VM, k resources.Kind, wi
 		f[7] = math.Log1p(float64(h.count))
 		f[8] = h.meanPeak[k]
 		f[9] = h.meanMean[k]
+	} else {
+		f[7], f[8], f[9] = 0, 0, 0
 	}
-	return f
 }
 
 // HistoryCount returns how many prior VMs the model saw for a subscription.
@@ -263,6 +299,87 @@ func (lt *LongTerm) Predict(tr *trace.Trace, vm *trace.VM) (pred coachvm.Predict
 	}
 	pred.Clamp()
 	return pred, true
+}
+
+// PredictBatch predicts a batch of VMs in single forest passes. The
+// results are exactly those of calling Predict per VM — bit-identical,
+// since mlforest.Forest.PredictBatch accumulates per-row tree
+// contributions in the same order — but all fresh VMs' (window, resource)
+// feature rows are evaluated through each forest in one PredictBatch
+// call, amortizing per-tree dispatch across the whole batch and backing
+// each VM's prediction windows with shared flat allocations. This is the
+// inference hot path of the serving layer (internal/serve), which
+// coalesces concurrent prediction requests into such batches.
+func (lt *LongTerm) PredictBatch(tr *trace.Trace, vms []*trace.VM) ([]coachvm.Prediction, []bool) {
+	preds := make([]coachvm.Prediction, len(vms))
+	oks := make([]bool, len(vms))
+	// First pass: resolve VMs predictable from their own observed series
+	// or rejected for insufficient history; collect the forest-path rest.
+	var fresh []int // indexes into vms needing a forest evaluation
+	for i, vm := range vms {
+		preds[i].Windows = lt.cfg.Windows
+		preds[i].Percentile = lt.cfg.Percentile
+		if visible := visibleSamples(vm, lt.upTo); visible >= lt.cfg.MinSamples {
+			for _, k := range resources.Kinds {
+				s := vm.Util[k][:visible]
+				preds[i].Pct[k] = quantizeAll(s.WindowPercentile(lt.cfg.Windows, lt.cfg.Percentile), lt.cfg.SafetyBuckets)
+				preds[i].Max[k] = quantizeAll(s.LifetimeWindowMax(lt.cfg.Windows), lt.cfg.SafetyBuckets)
+			}
+			preds[i].Clamp()
+			oks[i] = true
+			continue
+		}
+		if lt.HistoryCount(vm.Subscription) < lt.cfg.MinHistory {
+			continue
+		}
+		oks[i] = true
+		fresh = append(fresh, i)
+	}
+	if len(fresh) == 0 {
+		return preds, oks
+	}
+
+	// Second pass: one batched ensemble evaluation per (resource, target)
+	// over every fresh VM's windows. Feature vectors and forest outputs
+	// are carved out of pooled flat buffers (recycled across batches);
+	// only the per-VM window slices handed back inside Predictions are
+	// freshly allocated.
+	w := lt.cfg.Windows.PerDay
+	n := len(fresh) * w
+	sc, _ := lt.scratch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	sc.grow(n)
+	defer lt.scratch.Put(sc)
+	rows := sc.rows
+	for _, k := range resources.Kinds {
+		for bi, vi := range fresh {
+			vm := vms[vi]
+			for t := 0; t < w; t++ {
+				row := sc.featBuf[(bi*w+t)*featureDim : (bi*w+t+1)*featureDim]
+				lt.featuresInto(row, tr, vm, k, t)
+				rows[bi*w+t] = row
+			}
+		}
+		pctOut := lt.pctForest[k].PredictBatch(rows, sc.pctOut)
+		maxOut := lt.maxForest[k].PredictBatch(rows, sc.maxOut)
+		pctFlat := make([]float64, n)
+		maxFlat := make([]float64, n)
+		for bi, vi := range fresh {
+			lo, hi := bi*w, (bi+1)*w
+			preds[vi].Pct[k] = pctFlat[lo:hi:hi]
+			preds[vi].Max[k] = maxFlat[lo:hi:hi]
+			for t := 0; t < w; t++ {
+				preds[vi].Pct[k][t] = quantize(pctOut[lo+t], lt.cfg.SafetyBuckets)
+				preds[vi].Max[k][t] = quantize(maxOut[lo+t], lt.cfg.SafetyBuckets)
+			}
+		}
+	}
+	for _, vi := range fresh {
+		preds[vi].Clamp()
+	}
+	return preds, oks
 }
 
 // quantizeAll applies quantize element-wise.

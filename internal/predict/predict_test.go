@@ -268,3 +268,50 @@ func TestPredictionClampAgainstMax(t *testing.T) {
 		}
 	}
 }
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	tr, m := getTraceAndModel(t)
+	var vms []*trace.VM
+	for i := range tr.VMs {
+		vms = append(vms, &tr.VMs[i])
+		if len(vms) == 120 {
+			break
+		}
+	}
+	preds, oks := m.PredictBatch(tr, vms)
+	if len(preds) != len(vms) || len(oks) != len(vms) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(preds), len(oks), len(vms))
+	}
+	sawFresh, sawSelf, sawNoHist := false, false, false
+	for i, vm := range vms {
+		single, ok := m.Predict(tr, vm)
+		if ok != oks[i] {
+			t.Fatalf("vm %d: batch ok=%v, single ok=%v", vm.ID, oks[i], ok)
+		}
+		if !ok {
+			sawNoHist = true
+			continue
+		}
+		if vm.Start >= tr.Horizon/2 {
+			sawFresh = true
+		} else {
+			sawSelf = true
+		}
+		for _, k := range resources.Kinds {
+			for w := range single.Pct[k] {
+				if preds[i].Pct[k][w] != single.Pct[k][w] {
+					t.Fatalf("vm %d %v pct window %d: batch %v != single %v",
+						vm.ID, k, w, preds[i].Pct[k][w], single.Pct[k][w])
+				}
+				if preds[i].Max[k][w] != single.Max[k][w] {
+					t.Fatalf("vm %d %v max window %d: batch %v != single %v",
+						vm.ID, k, w, preds[i].Max[k][w], single.Max[k][w])
+				}
+			}
+		}
+	}
+	if !sawFresh || !sawSelf {
+		t.Errorf("batch did not cover both paths: fresh=%v self=%v noHistory=%v",
+			sawFresh, sawSelf, sawNoHist)
+	}
+}

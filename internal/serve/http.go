@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// HTTP/JSON wire types. Field order is fixed so identical requests
+// marshal to byte-identical responses (docs/api.md documents the schema).
+
+// VMRequest addresses one trace VM by id.
+type VMRequest struct {
+	VM int `json:"vm"`
+}
+
+// ResourceSeries is one resource's per-window prediction pair.
+type ResourceSeries struct {
+	Pct []float64 `json:"pct"`
+	Max []float64 `json:"max"`
+}
+
+// PredictResponse is the /v1/predict result.
+type PredictResponse struct {
+	VM         int     `json:"vm"`
+	OK         bool    `json:"ok"`
+	Percentile float64 `json:"percentile,omitempty"`
+	Windows    int     `json:"windows,omitempty"`
+	// Resources maps resource kind name (cpu, memory, network, ssd) to
+	// its per-window prediction; omitted when OK is false.
+	Resources map[string]ResourceSeries `json:"resources,omitempty"`
+}
+
+// AdmitResponse is the /v1/admit result.
+type AdmitResponse struct {
+	VM             int                `json:"vm"`
+	Admitted       bool               `json:"admitted"`
+	Reason         string             `json:"reason,omitempty"`
+	Cluster        int                `json:"cluster"`
+	Server         int                `json:"server"`
+	Oversubscribed bool               `json:"oversubscribed"`
+	Alloc          map[string]float64 `json:"alloc,omitempty"`
+	Guaranteed     map[string]float64 `json:"guaranteed,omitempty"`
+}
+
+// ReleaseResponse is the /v1/release result.
+type ReleaseResponse struct {
+	VM       int  `json:"vm"`
+	Released bool `json:"released"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	GET  /healthz     — liveness probe
+//	GET  /v1/stats    — admission counters, batching and cache stats
+//	POST /v1/predict  — per-window utilization prediction for one VM
+//	POST /v1/admit    — predict, shape into a CoachVM and place it
+//	POST /v1/release  — free an admitted VM's capacity
+//
+// See docs/api.md for request/response schemas, error codes and curl
+// examples.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/admit", s.handleAdmit)
+	mux.HandleFunc("/v1/release", s.handleRelease)
+	return mux
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	vm, ok := s.decodeVM(w, r)
+	if !ok {
+		return
+	}
+	pred, predicted, err := s.Predict(vm)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	resp := PredictResponse{VM: vm.ID, OK: predicted}
+	if predicted {
+		resp.Percentile = pred.Percentile
+		resp.Windows = pred.Windows.PerDay
+		resp.Resources = make(map[string]ResourceSeries, resources.NumKinds)
+		for _, k := range resources.Kinds {
+			resp.Resources[kindName(k)] = ResourceSeries{Pct: pred.Pct[k], Max: pred.Max[k]}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	vm, ok := s.decodeVM(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.Admit(vm)
+	if err != nil {
+		if errors.Is(err, ErrAlreadyAdmitted) {
+			writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeServiceError(w, err)
+		return
+	}
+	resp := AdmitResponse{
+		VM:             vm.ID,
+		Admitted:       res.Admitted,
+		Cluster:        res.Cluster,
+		Server:         res.Server,
+		Oversubscribed: res.Oversubscribed,
+	}
+	if res.Admitted {
+		resp.Alloc = vectorMap(res.Alloc)
+		resp.Guaranteed = vectorMap(res.Guaranteed)
+	} else {
+		resp.Reason = "no server in the home cluster has capacity"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
+	vm, ok := s.decodeVM(w, r)
+	if !ok {
+		return
+	}
+	released, err := s.Release(vm)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	if !released {
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: fmt.Sprintf("vm %d is not admitted", vm.ID)})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReleaseResponse{VM: vm.ID, Released: true})
+}
+
+// decodeVM parses a POSTed VMRequest and resolves the trace VM, writing
+// the error response itself when it returns ok=false.
+func (s *Service) decodeVM(w http.ResponseWriter, r *http.Request) (*trace.VM, bool) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return nil, false
+	}
+	var req VMRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed request body: " + err.Error()})
+		return nil, false
+	}
+	vm := s.VM(req.VM)
+	if vm == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown vm %d", req.VM)})
+		return nil, false
+	}
+	return vm, true
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "method not allowed"})
+		return false
+	}
+	return true
+}
+
+// writeServiceError maps service errors to status codes: shutdown is 503,
+// anything else (training failure) is a 500.
+func writeServiceError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, ErrClosed) {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// kindName is the wire name of a resource kind.
+func kindName(k resources.Kind) string {
+	switch k {
+	case resources.CPU:
+		return "cpu"
+	case resources.Memory:
+		return "memory"
+	case resources.Network:
+		return "network"
+	case resources.SSD:
+		return "ssd"
+	default:
+		return fmt.Sprintf("kind%d", int(k))
+	}
+}
+
+// vectorMap renders a resource vector as a JSON object keyed by kind name.
+func vectorMap(v resources.Vector) map[string]float64 {
+	out := make(map[string]float64, resources.NumKinds)
+	for _, k := range resources.Kinds {
+		out[kindName(k)] = v[k]
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+// Package serve is Coach's online control plane: a long-running,
+// concurrency-safe prediction-and-admission service over the offline
+// stack — the long-term forest predictor (internal/predict), the
+// time-window scheduler (internal/scheduler) and CoachVM shaping
+// (internal/coachvm) — exposed over HTTP/JSON by cmd/coachd and driven by
+// cmd/coach-loadgen.
+//
+// Three mechanisms make the hot path production-shaped rather than a thin
+// wrapper (docs/DESIGN.md §7):
+//
+//   - A request batcher coalesces concurrent predictions into single
+//     batched forest passes (predict.LongTerm.PredictBatch), amortizing
+//     per-tree dispatch across requests. Batched results are bit-identical
+//     to per-request prediction, so responses never depend on batch
+//     composition.
+//   - A trained-model cache keyed by (trace fingerprint, training config)
+//     makes cold starts pay forest training once; later services and
+//     requests share the fitted model (singleflight under concurrency).
+//   - Fleet state is sharded per cluster — the same boundaries the
+//     parallel simulator replays concurrently — with one lock per shard,
+//     so admissions and releases in different clusters never contend.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/predict"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/scheduler"
+	"github.com/coach-oss/coach/internal/timeseries"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Policy is the oversubscription policy admissions are shaped under
+	// (default Coach).
+	Policy scheduler.PolicyKind
+	// Windows is the time-window split (default 6x4h).
+	Windows timeseries.Windows
+	// Percentile sizes the guaranteed portion (default 95).
+	Percentile float64
+	// LongTerm configures predictor training; Windows/Percentile above
+	// override its corresponding fields.
+	LongTerm predict.LongTermConfig
+	// TrainUpTo is the trace sample separating the model's training
+	// period from served requests (default: half the horizon).
+	TrainUpTo int
+	// Batch tunes the prediction batcher.
+	Batch BatchConfig
+	// Cache optionally shares a trained-model cache across services.
+	// When nil the service creates a private one.
+	Cache *ModelCache
+}
+
+// DefaultConfig returns the paper's deployed configuration with
+// opportunistic batching.
+func DefaultConfig() Config {
+	return Config{
+		Policy:     scheduler.PolicyCoach,
+		Windows:    timeseries.Windows{PerDay: 6},
+		Percentile: 95,
+		LongTerm:   predict.DefaultLongTermConfig(),
+	}
+}
+
+// fleetShard is one cluster's independently lockable slice of fleet
+// state. Placement never crosses cluster boundaries (cluster.Fleet.Shards
+// — the invariant the parallel simulator is built on), so per-shard
+// locking admits full concurrency between clusters while each shard's
+// scheduler stays the deterministic single-threaded bin-packer.
+type fleetShard struct {
+	mu       sync.Mutex
+	sched    *scheduler.Scheduler // nil when the cluster has no servers
+	admitted int64
+	released int64
+	rejected int64
+}
+
+// Service is a concurrency-safe prediction-and-admission server over one
+// trace and one fleet. All methods are safe for concurrent use. The
+// zero value is not usable; construct with New.
+type Service struct {
+	cfg    Config
+	tr     *trace.Trace
+	fleet  *cluster.Fleet
+	cache  *ModelCache
+	key    ModelKey
+	vmByID map[int]*trace.VM
+	shards []*fleetShard
+
+	batcher *batcher
+
+	closeMu sync.Mutex
+	closed  bool
+
+	// model is the trained predictor, set once; the atomic pointer keeps
+	// the per-request fast path lock-free (modelMu only guards training).
+	model   atomic.Pointer[predict.LongTerm]
+	modelMu sync.Mutex
+}
+
+// New builds a service over tr and fleet. The model is trained lazily on
+// the first prediction (through the model cache — see Warm to front-load
+// it) so construction stays cheap.
+func New(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Service, error) {
+	if cfg.Percentile == 0 {
+		cfg.Percentile = 95
+	}
+	if cfg.Windows.PerDay == 0 {
+		cfg.Windows = timeseries.Windows{PerDay: 6}
+	}
+	if err := cfg.Windows.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TrainUpTo == 0 {
+		cfg.TrainUpTo = tr.Horizon / 2
+	}
+	if cfg.TrainUpTo <= 0 || cfg.TrainUpTo >= tr.Horizon {
+		return nil, fmt.Errorf("serve: TrainUpTo %d outside (0,%d)", cfg.TrainUpTo, tr.Horizon)
+	}
+	if err := fleet.Validate(); err != nil {
+		return nil, err
+	}
+	if fleet.NumClusters() == 0 {
+		return nil, fmt.Errorf("serve: fleet has no clusters")
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = NewModelCache()
+	}
+
+	ltCfg := cfg.LongTerm
+	ltCfg.Windows = cfg.Windows
+	ltCfg.Percentile = cfg.Percentile
+	s := &Service{
+		cfg:    cfg,
+		tr:     tr,
+		fleet:  fleet,
+		cache:  cache,
+		vmByID: make(map[int]*trace.VM, len(tr.VMs)),
+		key:    ModelKey{TraceID: Fingerprint(tr), TrainUpTo: cfg.TrainUpTo, Config: ltCfg},
+	}
+	for i := range tr.VMs {
+		s.vmByID[tr.VMs[i].ID] = &tr.VMs[i]
+	}
+	for _, servers := range fleet.Shards() {
+		sh := &fleetShard{}
+		if len(servers) > 0 {
+			sched, err := scheduler.NewOverServers(servers, cfg.Windows)
+			if err != nil {
+				return nil, err
+			}
+			sh.sched = sched
+		}
+		s.shards = append(s.shards, sh)
+	}
+	if !cfg.Batch.Disabled {
+		s.batcher = newBatcher(cfg.Batch, s.predictBatch)
+	}
+	return s, nil
+}
+
+// modelFor returns the trained model, training through the cache on first
+// use. Concurrent callers on a cold cache block on one training run;
+// afterwards the lookup is a lock-free atomic load.
+func (s *Service) modelFor() (*predict.LongTerm, error) {
+	if m := s.model.Load(); m != nil {
+		return m, nil
+	}
+	s.modelMu.Lock()
+	defer s.modelMu.Unlock()
+	if m := s.model.Load(); m != nil {
+		return m, nil
+	}
+	m, err := s.cache.Get(s.key, func() (*predict.LongTerm, error) {
+		return predict.TrainLongTerm(s.tr, s.key.TrainUpTo, s.key.Config)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.model.Store(m)
+	return m, nil
+}
+
+// Warm trains (or fetches) the model eagerly so the first request does not
+// pay the cold start.
+func (s *Service) Warm() error {
+	_, err := s.modelFor()
+	return err
+}
+
+// predictBatch is the batcher's worker: one batched forest pass.
+func (s *Service) predictBatch(vms []*trace.VM) ([]coachvm.Prediction, []bool, error) {
+	m, err := s.modelFor()
+	if err != nil {
+		return nil, nil, err
+	}
+	preds, oks := m.PredictBatch(s.tr, vms)
+	return preds, oks, nil
+}
+
+// VM resolves a trace VM id (nil when unknown).
+func (s *Service) VM(id int) *trace.VM { return s.vmByID[id] }
+
+// Predict returns the per-window utilization prediction for vm. ok=false
+// means the model lacks history to predict it (§3.3: such VMs must not be
+// oversubscribed). Concurrent calls coalesce into batched forest passes
+// unless batching is disabled; either path returns bit-identical results.
+func (s *Service) Predict(vm *trace.VM) (coachvm.Prediction, bool, error) {
+	if s.isClosed() {
+		return coachvm.Prediction{}, false, ErrClosed
+	}
+	if s.batcher != nil {
+		return s.batcher.submit(vm)
+	}
+	m, err := s.modelFor()
+	if err != nil {
+		return coachvm.Prediction{}, false, err
+	}
+	pred, ok := m.Predict(s.tr, vm)
+	return pred, ok, nil
+}
+
+// AdmitResult reports one admission decision.
+type AdmitResult struct {
+	// Admitted is false when no server in the VM's home cluster had
+	// capacity.
+	Admitted bool
+	// Cluster is the home cluster the VM was routed to.
+	Cluster int
+	// Server is the shard-local server index the VM was placed on (-1
+	// when rejected).
+	Server int
+	// Oversubscribed reports whether the VM received a non-trivial
+	// guaranteed/oversubscribed split (false: fully guaranteed).
+	Oversubscribed bool
+	// Alloc and Guaranteed are the requested allocation and the resolved
+	// always-backed portion.
+	Alloc      resources.Vector
+	Guaranteed resources.Vector
+}
+
+// Admit predicts vm, shapes it into a CoachVM under the configured policy
+// and places it onto its home cluster's shard. Admissions of distinct
+// clusters run concurrently; within a cluster the shard lock serializes
+// placement so the underlying best-fit packer stays deterministic.
+func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
+	pred, ok, err := s.Predict(vm)
+	if err != nil {
+		return AdmitResult{}, err
+	}
+	cvm, err := scheduler.BuildCVM(s.cfg.Policy, vm.ID, vm.Alloc, pred, ok, s.cfg.Windows)
+	if err != nil {
+		return AdmitResult{}, err
+	}
+	ci := s.shardIndex(vm)
+	res := AdmitResult{
+		Cluster:        ci,
+		Server:         -1,
+		Oversubscribed: ok && s.cfg.Policy != scheduler.PolicyNone,
+		Alloc:          vm.Alloc,
+		Guaranteed:     cvm.Guaranteed,
+	}
+	sh := s.shards[ci]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.sched == nil {
+		sh.rejected++
+		return res, nil
+	}
+	if sh.sched.ServerOf(vm.ID) >= 0 {
+		return res, fmt.Errorf("serve: vm %d %w", vm.ID, ErrAlreadyAdmitted)
+	}
+	srv, placed := sh.sched.Place(cvm)
+	if !placed {
+		sh.rejected++
+		return res, nil
+	}
+	sh.admitted++
+	res.Admitted = true
+	res.Server = srv
+	return res, nil
+}
+
+// Release removes an admitted VM from its server, freeing its capacity.
+// released reports whether the VM was admitted; after Close it returns
+// ErrClosed like every other mutating call, so a post-shutdown Stats
+// snapshot is final.
+func (s *Service) Release(vm *trace.VM) (released bool, err error) {
+	if s.isClosed() {
+		return false, ErrClosed
+	}
+	sh := s.shards[s.shardIndex(vm)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.sched == nil {
+		return false, nil
+	}
+	if cvm, _ := sh.sched.Remove(vm.ID); cvm == nil {
+		return false, nil
+	}
+	sh.released++
+	return true, nil
+}
+
+// shardIndex routes a VM to its home cluster's shard, folding trace
+// cluster indices modulo the fleet's cluster count exactly as the
+// simulator does, so serving and replay agree on placement domains.
+func (s *Service) shardIndex(vm *trace.VM) int {
+	ci := vm.Cluster % len(s.shards)
+	if ci < 0 {
+		ci += len(s.shards)
+	}
+	return ci
+}
+
+// ClusterStats is one shard's admission counters and occupancy.
+type ClusterStats struct {
+	Cluster     int    `json:"cluster"`
+	Name        string `json:"name"`
+	Servers     int    `json:"servers"`
+	UsedServers int    `json:"used_servers"`
+	Placed      int    `json:"placed"`
+	Admitted    int64  `json:"admitted"`
+	Released    int64  `json:"released"`
+	Rejected    int64  `json:"rejected"`
+}
+
+// Stats is a point-in-time snapshot of the service.
+type Stats struct {
+	Policy   string         `json:"policy"`
+	Placed   int            `json:"placed"`
+	Clusters []ClusterStats `json:"clusters"`
+	Batch    BatchStats     `json:"batch"`
+	Cache    CacheStats     `json:"cache"`
+}
+
+// Stats snapshots admission counters, occupancy, batching effectiveness
+// and model-cache behaviour.
+func (s *Service) Stats() Stats {
+	st := Stats{Policy: s.cfg.Policy.String(), Cache: s.cache.Stats()}
+	if s.batcher != nil {
+		st.Batch = s.batcher.stats()
+	}
+	for ci, sh := range s.shards {
+		cs := ClusterStats{Cluster: ci, Name: s.fleet.Clusters[ci].Name, Servers: s.fleet.Clusters[ci].Servers}
+		sh.mu.Lock()
+		cs.Admitted, cs.Released, cs.Rejected = sh.admitted, sh.released, sh.rejected
+		if sh.sched != nil {
+			cs.Placed = sh.sched.Placed()
+			cs.UsedServers = sh.sched.UsedServers()
+		}
+		sh.mu.Unlock()
+		st.Placed += cs.Placed
+		st.Clusters = append(st.Clusters, cs)
+	}
+	return st
+}
+
+// Close drains the batcher and rejects further requests with ErrClosed.
+// It is idempotent and safe to call concurrently with requests: in-flight
+// predictions complete before Close returns.
+func (s *Service) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
+	if s.batcher != nil {
+		s.batcher.close() // idempotent; waits for the drain either way
+	}
+}
+
+func (s *Service) isClosed() bool {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	return s.closed
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/predict"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+var (
+	testOnce  sync.Once
+	testTrace *trace.Trace
+	// testCache is shared by tests that don't bring their own cache, so
+	// the package trains each distinct model configuration only once.
+	testCache = NewModelCache()
+)
+
+// getTrace shares one small trace across the package's tests; forests are
+// shared through a ModelCache per test as needed.
+func getTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	testOnce.Do(func() {
+		cfg := trace.DefaultGenConfig()
+		cfg.VMs = 300
+		cfg.Subscriptions = 30
+		tr, err := trace.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testTrace = tr
+	})
+	if testTrace == nil {
+		t.Fatal("trace generation failed earlier")
+	}
+	return testTrace
+}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	if cfg.Cache == nil {
+		cfg.Cache = testCache
+	}
+	tr := getTrace(t)
+	fleet := cluster.NewFleet(cluster.DefaultClusters(6))
+	s, err := New(tr, fleet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// evalVMs returns VMs arriving in the evaluation period — the population
+// an online admission service would actually see.
+func evalVMs(tr *trace.Trace) []*trace.VM {
+	var out []*trace.VM
+	for i := range tr.VMs {
+		if tr.VMs[i].Start >= tr.Horizon/2 {
+			out = append(out, &tr.VMs[i])
+		}
+	}
+	return out
+}
+
+func TestServiceValidation(t *testing.T) {
+	tr := getTrace(t)
+	fleet := cluster.NewFleet(cluster.DefaultClusters(2))
+	cfg := DefaultConfig()
+	cfg.TrainUpTo = tr.Horizon + 1
+	if _, err := New(tr, fleet, cfg); err == nil {
+		t.Error("out-of-range TrainUpTo must fail")
+	}
+	if _, err := New(tr, cluster.NewFleet(nil), DefaultConfig()); err == nil {
+		t.Error("empty fleet must fail")
+	}
+}
+
+// TestPredictDeterministicAcrossBatching drives many concurrent batched
+// predictions and checks every response equals the sequential unbatched
+// prediction for the same VM — the acceptance bar that batching must not
+// leak batch composition into results.
+func TestPredictDeterministicAcrossBatching(t *testing.T) {
+	cache := NewModelCache()
+	cfgDirect := DefaultConfig()
+	cfgDirect.Batch.Disabled = true
+	cfgDirect.Cache = cache
+	direct := newTestService(t, cfgDirect)
+
+	cfgBatched := DefaultConfig()
+	cfgBatched.Batch.MaxBatch = 16
+	cfgBatched.Cache = cache
+	batched := newTestService(t, cfgBatched)
+
+	tr := getTrace(t)
+	vms := evalVMs(tr)
+	if len(vms) < 10 {
+		t.Fatalf("only %d evaluation VMs", len(vms))
+	}
+
+	want := make([]coachvm.Prediction, len(vms))
+	wantOK := make([]bool, len(vms))
+	for i, vm := range vms {
+		pred, ok, err := direct.Predict(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], wantOK[i] = pred, ok
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(vms))
+	for r := 0; r < rounds; r++ {
+		for i, vm := range vms {
+			wg.Add(1)
+			go func(i int, vm *trace.VM) {
+				defer wg.Done()
+				pred, ok, err := batched.Predict(vm)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ok != wantOK[i] || !reflect.DeepEqual(pred, want[i]) {
+					errs <- errors.New("batched prediction diverged from unbatched")
+				}
+			}(i, vm)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := batched.Stats()
+	if st.Batch.Requests != int64(rounds*len(vms)) {
+		t.Errorf("batcher saw %d requests, want %d", st.Batch.Requests, rounds*len(vms))
+	}
+	if st.Batch.Batches == 0 {
+		t.Error("no batches recorded")
+	}
+}
+
+// TestConcurrentAdmitRelease churns admissions and releases from many
+// goroutines (disjoint VM sets per goroutine) and checks the shard
+// bookkeeping balances.
+func TestConcurrentAdmitRelease(t *testing.T) {
+	s := newTestService(t, DefaultConfig())
+	tr := getTrace(t)
+	vms := evalVMs(tr)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	var admitted, released atomic.Int64
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(vms); i += workers {
+				res, err := s.Admit(vms[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Admitted {
+					continue
+				}
+				admitted.Add(1)
+				// Release every other admitted VM to churn shard state.
+				if i%2 == 0 {
+					ok, err := s.Release(vms[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !ok {
+						errs <- errors.New("release of admitted vm reported not admitted")
+						return
+					}
+					released.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	var admSum, relSum int64
+	for _, cs := range st.Clusters {
+		admSum += cs.Admitted
+		relSum += cs.Released
+	}
+	if admSum != admitted.Load() || relSum != released.Load() {
+		t.Errorf("stats admitted/released %d/%d, want %d/%d", admSum, relSum, admitted.Load(), released.Load())
+	}
+	if got, want := int64(st.Placed), admitted.Load()-released.Load(); got != want {
+		t.Errorf("placed %d, want %d", got, want)
+	}
+	if admitted.Load() == 0 {
+		t.Error("no VM was admitted")
+	}
+}
+
+func TestAdmitDuplicateAndRelease(t *testing.T) {
+	s := newTestService(t, DefaultConfig())
+	tr := getTrace(t)
+	vms := evalVMs(tr)
+
+	var vm *trace.VM
+	for _, cand := range vms {
+		res, err := s.Admit(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Admitted {
+			vm = cand
+			break
+		}
+	}
+	if vm == nil {
+		t.Fatal("no admissible VM found")
+	}
+	if _, err := s.Admit(vm); !errors.Is(err, ErrAlreadyAdmitted) {
+		t.Fatalf("duplicate admit error = %v, want ErrAlreadyAdmitted", err)
+	}
+	if ok, err := s.Release(vm); err != nil || !ok {
+		t.Fatalf("release of admitted VM: ok=%v err=%v", ok, err)
+	}
+	if ok, err := s.Release(vm); err != nil || ok {
+		t.Fatalf("double release: ok=%v err=%v, want not admitted", ok, err)
+	}
+	// Re-admission after release must succeed again.
+	res, err := s.Admit(vm)
+	if err != nil || !res.Admitted {
+		t.Fatalf("re-admit after release: admitted=%v err=%v", res.Admitted, err)
+	}
+}
+
+// TestModelCacheSharing asserts the cold start trains once and every
+// later service on the same (trace, config) hits the cache.
+func TestModelCacheSharing(t *testing.T) {
+	cache := NewModelCache()
+	cfg := DefaultConfig()
+	cfg.Cache = cache
+
+	a := newTestService(t, cfg)
+	if err := a.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 0 || st.Models != 1 {
+		t.Fatalf("after first warm: %+v, want 1 miss, 0 hits, 1 model", st)
+	}
+
+	b := newTestService(t, cfg)
+	if err := b.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	st = cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.Models != 1 {
+		t.Fatalf("after second warm: %+v, want 1 miss, 1 hit, 1 model", st)
+	}
+
+	// Any differing training hyperparameter is a different model —
+	// including ones beyond percentile/windows, so a shared cache can
+	// never hand a canary config the live config's model.
+	for i, mutate := range []func(*Config){
+		func(c *Config) { c.Percentile = 50 },
+		func(c *Config) { c.LongTerm.Forest.Trees = 10 },
+		func(c *Config) { c.LongTerm.SafetyBuckets = 2 },
+		func(c *Config) { c.LongTerm.MinHistory = 5 },
+	} {
+		cfg2 := cfg
+		mutate(&cfg2)
+		c := newTestService(t, cfg2)
+		if err := c.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(2 + i)
+		if st = cache.Stats(); st.Misses != want || st.Models != int(want) {
+			t.Fatalf("after config variant %d: %+v, want %d misses/models", i, st, want)
+		}
+	}
+}
+
+// TestModelCacheSingleflight floods a cold cache with concurrent gets and
+// checks train ran exactly once.
+func TestModelCacheSingleflight(t *testing.T) {
+	cache := NewModelCache()
+	var trains atomic.Int64
+	key := ModelKey{TraceID: 7}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = cache.Get(key, func() (*predict.LongTerm, error) {
+				trains.Add(1)
+				return nil, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if trains.Load() != 1 {
+		t.Fatalf("train ran %d times, want 1", trains.Load())
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 15 {
+		t.Fatalf("stats %+v, want 1 miss, 15 hits", st)
+	}
+}
+
+func TestCloseRejectsAndDrains(t *testing.T) {
+	s := newTestService(t, DefaultConfig())
+	tr := getTrace(t)
+	vms := evalVMs(tr)
+	if _, _, err := s.Predict(vms[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, _, err := s.Predict(vms[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("predict after close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Admit(vms[1]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("admit after close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Release(vms[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("release after close: %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestFingerprintDistinguishesTraces(t *testing.T) {
+	tr := getTrace(t)
+	if Fingerprint(tr) != Fingerprint(tr) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	cfg := trace.DefaultGenConfig()
+	cfg.VMs = 120
+	cfg.Subscriptions = 12
+	other, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(tr) == Fingerprint(other) {
+		t.Fatal("distinct traces share a fingerprint")
+	}
+}
