@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/coach-oss/coach/internal/experiments"
+	"github.com/coach-oss/coach/internal/mlforest"
 	"github.com/coach-oss/coach/internal/trace"
 )
 
@@ -210,6 +211,77 @@ func BenchmarkServeThroughput(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkForestTrain measures the columnar pre-sorted training engine
+// (docs/DESIGN.md §8) on small (3k-row) and large (20k-row) trace-shaped
+// training sets at 1/2/4/8 tree-growth workers. The trained forest is
+// byte-identical for any worker count, so the sub-benchmarks differ only
+// in throughput. Before/after numbers against the seed engine are
+// recorded in BENCH_forest.json; on a single-CPU host extra workers show
+// no wall-clock win (the pool adds negligible overhead), while the
+// algorithmic rewrite alone is the ≥2× single-threaded speedup.
+func BenchmarkForestTrain(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		rows int
+	}{
+		{"small", 3000},
+		{"large", 20000},
+	} {
+		data := mlforest.TraceLikeSamples(size.rows, 11)
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", size.name, workers), func(b *testing.B) {
+				cfg := mlforest.DefaultForestConfig()
+				cfg.Workers = workers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := mlforest.Train(data, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkColdStart measures a serve ModelCache miss through to the first
+// prediction: every iteration constructs a service with a fresh cache, so
+// the timed region is dominated by training the 8 per-(resource, target)
+// forests — the cold-start path the columnar engine was rebuilt to
+// shorten (docs/DESIGN.md §8).
+func BenchmarkColdStart(b *testing.B) {
+	ctx := benchContext()
+	tr, err := ctx.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fresh := -1
+	for i := range tr.VMs {
+		if tr.VMs[i].Start >= tr.Horizon/2 {
+			fresh = i
+			break
+		}
+	}
+	if fresh < 0 {
+		b.Fatal("no evaluation-period VM")
+	}
+	fleet := NewFleet(DefaultClusters(8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultServiceConfig()
+		cfg.Cache = NewModelCache() // fresh cache: every iteration is a cold miss
+		svc, err := NewService(tr, fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := svc.Predict(&tr.VMs[fresh]); err != nil {
+			b.Fatal(err)
+		}
+		svc.Close()
 	}
 }
 

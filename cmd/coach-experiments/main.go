@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	coach-experiments [-scale small|medium|full] [-run id[,id...]] [-parallel n] [-markdown] [-list]
+//	coach-experiments [-scale small|medium|full] [-run id[,id...]] [-parallel n]
+//	                  [-train-workers n] [-markdown] [-list]
 //
 // Experiments are independent, so -parallel n runs up to n of them
 // concurrently over a shared context (n <= 0 uses GOMAXPROCS). Output is
@@ -30,6 +31,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (<=0: GOMAXPROCS)")
 	markdown := flag.Bool("markdown", false, "emit Markdown (EXPERIMENTS.md format)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	trainWorkers := flag.Int("train-workers", 0, "goroutines growing forest trees during model training (0 = GOMAXPROCS); output is identical for any value")
 	flag.Parse()
 
 	if *list {
@@ -65,6 +67,7 @@ func main() {
 	}
 
 	ctx := experiments.NewContext(s)
+	ctx.TrainWorkers = *trainWorkers
 	outs := make([]bytes.Buffer, len(selected))
 	errs := make([]error, len(selected))
 	if workers <= 1 {

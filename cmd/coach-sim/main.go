@@ -6,6 +6,7 @@
 //
 //	coach-sim [-scale small|medium|full] [-policy None|Single|Coach|AggrCoach|all]
 //	          [-percentile 95] [-windows 6] [-fleet-frac 0.55] [-workers 0]
+//	          [-train-workers 0]
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 	windows := flag.Int("windows", 6, "time windows per day")
 	fleetFrac := flag.Float64("fleet-frac", 0.55, "fleet capacity as a fraction of peak demand")
 	workers := flag.Int("workers", 0, "shard replay workers (0 = GOMAXPROCS); results are identical for any value")
+	trainWorkers := flag.Int("train-workers", 0, "goroutines growing forest trees during model training (0 = GOMAXPROCS); the model is identical for any value")
 	flag.Parse()
 
 	s, err := experiments.ParseScale(*scale)
@@ -60,6 +62,7 @@ func main() {
 		cfg.Windows = timeseries.Windows{PerDay: *windows}
 		cfg.TrainUpTo = tr.Horizon / 2
 		cfg.Workers = *workers
+		cfg.LongTerm.Forest.Workers = *trainWorkers
 		if *percentile > 0 {
 			cfg.Percentile = *percentile
 		}

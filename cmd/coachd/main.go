@@ -9,6 +9,7 @@
 //	coachd [-addr :8080] [-scale small|medium|full] [-servers N]
 //	       [-policy none|single|coach|aggrcoach]
 //	       [-batch-max N] [-batch-wait D] [-no-batch] [-lazy-train]
+//	       [-train-workers N]
 //
 // On start, coachd generates the trace for the chosen scale, trains the
 // long-term predictor on the first half (unless -lazy-train defers that
@@ -51,15 +52,16 @@ func main() {
 	batchWait := flag.Duration("batch-wait", 0, "max wait for stragglers per batch (0 = opportunistic)")
 	noBatch := flag.Bool("no-batch", false, "disable the prediction batcher (per-request inference)")
 	lazyTrain := flag.Bool("lazy-train", false, "defer model training to the first prediction request")
+	trainWorkers := flag.Int("train-workers", 0, "goroutines growing forest trees during training (0 = GOMAXPROCS); the model is identical for any value")
 	flag.Parse()
 
-	if err := run(*addr, *scale, *servers, *policy, *batchMax, *batchWait, *noBatch, *lazyTrain); err != nil {
+	if err := run(*addr, *scale, *servers, *policy, *batchMax, *batchWait, *noBatch, *lazyTrain, *trainWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "coachd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, scale string, servers int, policy string, batchMax int, batchWait time.Duration, noBatch, lazyTrain bool) error {
+func run(addr, scale string, servers int, policy string, batchMax int, batchWait time.Duration, noBatch, lazyTrain bool, trainWorkers int) error {
 	pk, err := parsePolicy(policy)
 	if err != nil {
 		return err
@@ -79,6 +81,7 @@ func run(addr, scale string, servers int, policy string, batchMax int, batchWait
 	cfg := serve.DefaultConfig()
 	cfg.Policy = pk
 	cfg.Batch = serve.BatchConfig{Disabled: noBatch, MaxBatch: batchMax, MaxWait: batchWait}
+	cfg.LongTerm.Forest.Workers = trainWorkers
 	svc, err := serve.New(tr, fleet, cfg)
 	if err != nil {
 		return err

@@ -82,6 +82,12 @@ func (s Scale) GenConfig() trace.GenConfig {
 type Context struct {
 	Scale Scale
 
+	// TrainWorkers bounds how many goroutines grow forest trees when the
+	// context trains a predictor (0 = GOMAXPROCS). The trained model is
+	// byte-identical for any value, so experiment output never depends on
+	// it; cmd tools expose it as -train-workers. Set before first use.
+	TrainWorkers int
+
 	mu     sync.Mutex
 	tr     *trace.Trace
 	models map[float64]*predict.LongTerm
@@ -124,6 +130,7 @@ func (c *Context) Model(percentile float64) (*predict.LongTerm, error) {
 	}
 	cfg := predict.DefaultLongTermConfig()
 	cfg.Percentile = percentile
+	cfg.Forest.Workers = c.TrainWorkers
 	m, err := predict.TrainLongTerm(tr, trainUpTo(tr), cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,60 @@
+package mlforest
+
+import "sort"
+
+// dataset is the feature-major (columnar) view of one training matrix,
+// built once and shared read-only across every tree builder: cols[f][r]
+// is feature f of row r and sortedRows[f] holds the rows argsorted by
+// feature f. Targets live outside the dataset — the long-term predictor
+// trains percentile and max forests on one feature matrix with different
+// target vectors (Matrix/TrainOnMatrix), so the transpose and argsort are
+// paid once per matrix, not once per forest.
+//
+// The pre-sorted index columns are the heart of the training engine
+// (docs/DESIGN.md §8): the seed engine re-sorted (value, target) pairs at
+// every node — O(m log m) per tried feature per node — while here each
+// tree derives its bootstrap's sorted columns from sortedRows by a
+// counting pass in O(n) per feature and every node afterwards is a linear
+// sweep plus a stable in-place partition. No sort ever runs inside tree
+// growth.
+type dataset struct {
+	cols       [][]float64
+	sortedRows [][]int32
+	nFeat      int
+	n          int
+}
+
+// newDataset builds the columnar matrix and the per-feature argsort from
+// row-major feature vectors (shape already validated by the caller).
+// Column and index storage are carved from one flat backing allocation
+// each, so the dataset costs 2 large allocations plus headers regardless
+// of feature count.
+func newDataset(rows [][]float64) *dataset {
+	n := len(rows)
+	nFeat := len(rows[0])
+	ds := &dataset{nFeat: nFeat, n: n}
+
+	colFlat := make([]float64, n*nFeat)
+	ds.cols = make([][]float64, nFeat)
+	for f := range ds.cols {
+		ds.cols[f] = colFlat[f*n : (f+1)*n : (f+1)*n]
+	}
+	for r := range rows {
+		for f, v := range rows[r] {
+			ds.cols[f][r] = v
+		}
+	}
+
+	idxFlat := make([]int32, n*nFeat)
+	ds.sortedRows = make([][]int32, nFeat)
+	for f := range ds.sortedRows {
+		col := idxFlat[f*n : (f+1)*n : (f+1)*n]
+		for r := range col {
+			col[r] = int32(r)
+		}
+		vals := ds.cols[f]
+		sort.Slice(col, func(a, b int) bool { return vals[col[a]] < vals[col[b]] })
+		ds.sortedRows[f] = col
+	}
+	return ds
+}

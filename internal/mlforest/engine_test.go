@@ -1,0 +1,275 @@
+package mlforest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+// seedEngineMSE is the recorded test MSE of the seed (pre-columnar)
+// training engine on TraceLikeSamples(3000, 11)/TraceLikeSamples(1000, 12)
+// with DefaultForestConfig, measured at commit 60f8501 before the rewrite.
+// The parity guard below keeps the rewritten engine's quality within 5%
+// of it.
+const seedEngineMSE = 0.0006143542
+
+func TestMSEParityWithSeedEngine(t *testing.T) {
+	train := TraceLikeSamples(3000, 11)
+	test := TraceLikeSamples(1000, 12)
+	f, err := Train(train, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := f.MSE(test)
+	t.Logf("columnar engine MSE %.10f (seed engine recorded %.10f)", mse, seedEngineMSE)
+	if mse > 1.05*seedEngineMSE {
+		t.Errorf("columnar engine MSE %v regressed more than 5%% over seed engine's %v", mse, seedEngineMSE)
+	}
+	if mse < 0.5*seedEngineMSE {
+		t.Errorf("columnar engine MSE %v implausibly below seed engine's %v — suspect target leakage", mse, seedEngineMSE)
+	}
+}
+
+// TestForestByteIdenticalAcrossWorkers is the training-engine counterpart
+// of the simulator's worker-count determinism guarantee: the gob encoding
+// of the whole arena (every node, child link, root and importance sum)
+// must match byte for byte whichever way the trees were scheduled.
+func TestForestByteIdenticalAcrossWorkers(t *testing.T) {
+	data := TraceLikeSamples(600, 21)
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		cfg := DefaultForestConfig()
+		cfg.Workers = workers
+		f, err := Train(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := f.GobEncode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = enc
+			continue
+		}
+		if !bytes.Equal(enc, want) {
+			t.Fatalf("forest trained with Workers=%d differs from Workers=1", workers)
+		}
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	data := TraceLikeSamples(200, 22)
+	f, err := Train(data, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := f.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Forest
+	if err := g.GobDecode(enc); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		feat := data[i].Features
+		if g.Predict(feat) != f.Predict(feat) {
+			t.Fatal("decoded forest predicts differently")
+		}
+	}
+	if g.NumTrees() != f.NumTrees() || g.NumFeatures() != f.NumFeatures() || g.MemoryBytes() != f.MemoryBytes() {
+		t.Error("decoded forest shape differs")
+	}
+}
+
+// TestThresholdAdjacentFloats is the regression test for the seed engine's
+// duplicate-threshold edge: with left value v1 = prevafter(2) and right
+// value v2 = 2, the midpoint (v1+v2)/2 rounds to exactly v2, so training
+// points that went right at fit time would go left at predict time. The
+// engine now splits on <= of the left value instead.
+func TestThresholdAdjacentFloats(t *testing.T) {
+	v1 := math.Nextafter(2, 1) // largest float64 below 2
+	v2 := 2.0
+	if mid := (v1 + v2) / 2; mid != v2 {
+		t.Fatalf("test premise broken: midpoint %v != right value %v", mid, v2)
+	}
+	var samples []Sample
+	for i := 0; i < 20; i++ {
+		samples = append(samples,
+			Sample{Features: []float64{v1}, Target: 0},
+			Sample{Features: []float64{v2}, Target: 1},
+		)
+	}
+	cfg := ForestConfig{Trees: 5, Tree: TreeConfig{MinLeaf: 1, FeatureFrac: 1}, Seed: 1}
+	f, err := Train(samples, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict([]float64{v2}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("right-side value predicts %v, want 1 (midpoint threshold would leak it left)", got)
+	}
+	if got := f.Predict([]float64{v1}); math.Abs(got) > 1e-9 {
+		t.Errorf("left-side value predicts %v, want 0", got)
+	}
+}
+
+// TestMemoryBytesArena pins MemoryBytes to the arena's real SoA footprint:
+// per node one int32 feature, two int32 children, one float64 threshold
+// and one float64 value, plus the per-tree roots and the per-feature
+// importance sums.
+func TestMemoryBytesArena(t *testing.T) {
+	f, err := Train(TraceLikeSamples(300, 23), DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := f.NumNodes()*(3*4+2*8) + f.NumTrees()*4 + f.NumFeatures()*8
+	if got := f.MemoryBytes(); got != want {
+		t.Errorf("MemoryBytes = %d, want %d (%d nodes, %d trees, %d features)",
+			got, want, f.NumNodes(), f.NumTrees(), f.NumFeatures())
+	}
+	var nodes int
+	for i := 0; i < f.NumTrees(); i++ {
+		nodes += f.TreeNodes(i)
+	}
+	if nodes != f.NumNodes() {
+		t.Errorf("per-tree node counts sum to %d, arena has %d", nodes, f.NumNodes())
+	}
+}
+
+// TestTrainOnMatrixEquivalence pins the documented guarantee that Train
+// and NewMatrix+TrainOnMatrix produce byte-identical forests, and that
+// one matrix serves two target vectors independently.
+func TestTrainOnMatrixEquivalence(t *testing.T) {
+	data := TraceLikeSamples(500, 25)
+	rows := make([][]float64, len(data))
+	targets := make([]float64, len(data))
+	alt := make([]float64, len(data))
+	for i, s := range data {
+		rows[i] = s.Features
+		targets[i] = s.Target
+		alt[i] = s.Target * 2
+	}
+	want, err := Train(data, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMatrix(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != len(rows) || m.NumFeatures() != 10 {
+		t.Fatalf("matrix shape %dx%d", m.NumRows(), m.NumFeatures())
+	}
+	got, err := TrainOnMatrix(m, targets, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnc, _ := want.GobEncode()
+	gotEnc, _ := got.GobEncode()
+	if !bytes.Equal(wantEnc, gotEnc) {
+		t.Fatal("TrainOnMatrix differs from Train on identical rows/targets")
+	}
+	// The same matrix must train a second, different forest untouched by
+	// the first (the dataset is read-only during growth).
+	other, err := TrainOnMatrix(m, alt, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, q := got.Predict(rows[0]), other.Predict(rows[0]); p == q {
+		t.Errorf("doubled targets trained an identical forest (both predict %v)", p)
+	}
+	again, err := TrainOnMatrix(m, targets, DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	againEnc, _ := again.GobEncode()
+	if !bytes.Equal(againEnc, wantEnc) {
+		t.Fatal("matrix reuse changed a retrained forest — growth mutated the dataset")
+	}
+
+	if _, err := NewMatrix(nil); err == nil {
+		t.Error("empty matrix must fail")
+	}
+	if _, err := NewMatrix([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged matrix must fail")
+	}
+	if _, err := TrainOnMatrix(m, targets[:10], DefaultForestConfig()); err == nil {
+		t.Error("target/row length mismatch must fail")
+	}
+}
+
+// TestGobDecodeRejectsCorruptArena checks that structurally invalid
+// payloads fail at decode time instead of panicking inside Predict.
+func TestGobDecodeRejectsCorruptArena(t *testing.T) {
+	f, err := Train(TraceLikeSamples(100, 26), DefaultForestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func(*forestWire)) {
+		w := forestWire{
+			Feature: append([]int32(nil), f.feature...), Threshold: append([]float64(nil), f.threshold...),
+			Left: append([]int32(nil), f.left...), Right: append([]int32(nil), f.right...),
+			Value: append([]float64(nil), f.value...), Roots: append([]int32(nil), f.roots...),
+			Importance: append([]float64(nil), f.importance...), NFeat: f.nFeat, NSamples: f.nSamples,
+		}
+		mutate(&w)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+			t.Fatal(err)
+		}
+		var g Forest
+		if err := g.GobDecode(buf.Bytes()); err == nil {
+			t.Errorf("%s: corrupt payload decoded without error", name)
+		}
+	}
+	corrupt("truncated thresholds", func(w *forestWire) { w.Threshold = w.Threshold[:1] })
+	corrupt("child outside arena", func(w *forestWire) {
+		for i := range w.Feature {
+			if w.Feature[i] >= 0 {
+				w.Left[i] = int32(len(w.Feature)) + 5
+				return
+			}
+		}
+	})
+	corrupt("root outside arena", func(w *forestWire) { w.Roots[0] = -1 })
+	corrupt("cyclic child link", func(w *forestWire) {
+		for i := range w.Feature {
+			if w.Feature[i] >= 0 {
+				w.Left[i] = int32(i) // self-loop: Predict would spin forever
+				return
+			}
+		}
+	})
+	corrupt("feature beyond dimensionality", func(w *forestWire) {
+		for i := range w.Feature {
+			if w.Feature[i] >= 0 {
+				w.Feature[i] = int32(w.NFeat)
+				return
+			}
+		}
+	})
+	corrupt("importance length mismatch", func(w *forestWire) { w.Importance = w.Importance[:1] })
+}
+
+// TestWorkersIgnoredByQuality sanity-checks that parallel training trains
+// the same number of usable trees (every root reachable, every walk
+// terminating) by predicting through a forest trained with many workers.
+func TestWorkersIgnoredByQuality(t *testing.T) {
+	data := TraceLikeSamples(400, 24)
+	cfg := DefaultForestConfig()
+	cfg.Workers = 8
+	f, err := Train(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumTrees() != cfg.Trees {
+		t.Fatalf("trained %d trees, want %d", f.NumTrees(), cfg.Trees)
+	}
+	for i := 0; i < 50; i++ {
+		if p := f.Predict(data[i].Features); math.IsNaN(p) {
+			t.Fatal("NaN prediction")
+		}
+	}
+}

@@ -1,8 +1,13 @@
 package mlforest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
-	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
 )
 
 // ForestConfig configures a bagged random forest.
@@ -13,6 +18,12 @@ type ForestConfig struct {
 	Tree TreeConfig
 	// Seed makes training deterministic.
 	Seed int64
+	// Workers bounds how many trees are grown concurrently. 0 (the
+	// default) uses runtime.GOMAXPROCS(0); 1 trains serially. Each tree's
+	// RNG derives from (Seed, tree index), so the trained forest is
+	// byte-identical for any value — Workers is a throughput knob, never
+	// part of the model's identity.
+	Workers int
 }
 
 // DefaultForestConfig mirrors a small production-style regressor: 40 trees,
@@ -25,19 +36,95 @@ func DefaultForestConfig() ForestConfig {
 	}
 }
 
-// Forest is a trained random forest regressor.
+// Forest is a trained random forest regressor. The ensemble is stored as
+// one contiguous structure-of-arrays node arena: trees are concatenated in
+// training order (tree t's nodes occupy [roots[t], end of its block)) and
+// child links are arena-absolute, so prediction walks dense slices instead
+// of per-tree pointer-chased node arrays. Leaves have feature == -1.
 type Forest struct {
-	trees    []*Tree
+	feature     []int32
+	threshold   []float64
+	left, right []int32
+	value       []float64
+	roots       []int32 // arena index of each tree's root
+
+	// importance holds per-feature total variance reduction summed over
+	// trees in tree order (raw, unnormalized).
+	importance []float64
+
 	nFeat    int
 	nSamples int
 }
 
 // Train fits a forest with bootstrap bagging. Each tree sees a bootstrap
 // resample of the training set and random feature subsets per split.
+//
+// Trees grow concurrently on cfg.Workers goroutines; because every tree's
+// randomness comes from its own (Seed, index)-derived RNG and trees
+// assemble into the arena in index order, the result is byte-identical
+// for any worker count.
 func Train(samples []Sample, cfg ForestConfig) (*Forest, error) {
 	if err := validateSamples(samples); err != nil {
 		return nil, err
 	}
+	rows := make([][]float64, len(samples))
+	targets := make([]float64, len(samples))
+	for i := range samples {
+		rows[i] = samples[i].Features
+		targets[i] = samples[i].Target
+	}
+	return trainOn(newDataset(rows), targets, cfg)
+}
+
+// Matrix is a prebuilt columnar training matrix: the feature-major
+// transpose plus the per-feature argsorted index columns. Building it is
+// the only sorting cost in training, so callers fitting several forests
+// on the same rows with different targets — the long-term predictor
+// trains a percentile and a max forest per resource on one feature
+// matrix — build the Matrix once and TrainOnMatrix per target vector. A
+// Matrix is read-only after construction and safe for concurrent
+// TrainOnMatrix calls.
+type Matrix struct {
+	ds *dataset
+}
+
+// NewMatrix builds a Matrix from row-major feature vectors. The rows are
+// copied into columnar storage; the caller may reuse them afterwards.
+func NewMatrix(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("mlforest: empty training matrix")
+	}
+	nFeat := len(rows[0])
+	if nFeat == 0 {
+		return nil, fmt.Errorf("mlforest: matrix rows have no features")
+	}
+	for i, r := range rows {
+		if len(r) != nFeat {
+			return nil, fmt.Errorf("mlforest: matrix row %d has %d features, want %d", i, len(r), nFeat)
+		}
+	}
+	return &Matrix{ds: newDataset(rows)}, nil
+}
+
+// NumRows returns the matrix's row count.
+func (m *Matrix) NumRows() int { return m.ds.n }
+
+// NumFeatures returns the matrix's feature dimensionality.
+func (m *Matrix) NumFeatures() int { return m.ds.nFeat }
+
+// TrainOnMatrix fits a forest against one target vector over a prebuilt
+// Matrix. Train(samples, cfg) is exactly equivalent to NewMatrix over the
+// samples' features followed by TrainOnMatrix over their targets — same
+// forest, byte for byte.
+func TrainOnMatrix(m *Matrix, targets []float64, cfg ForestConfig) (*Forest, error) {
+	if len(targets) != m.ds.n {
+		return nil, fmt.Errorf("mlforest: %d targets for %d-row matrix", len(targets), m.ds.n)
+	}
+	return trainOn(m.ds, targets, cfg)
+}
+
+// trainOn is the shared training core behind Train and TrainOnMatrix.
+func trainOn(ds *dataset, targets []float64, cfg ForestConfig) (*Forest, error) {
 	if cfg.Trees < 1 {
 		return nil, fmt.Errorf("mlforest: ForestConfig.Trees %d < 1", cfg.Trees)
 	}
@@ -47,17 +134,94 @@ func Train(samples []Sample, cfg ForestConfig) (*Forest, error) {
 	if cfg.Tree.FeatureFrac <= 0 || cfg.Tree.FeatureFrac > 1 {
 		cfg.Tree.FeatureFrac = 1
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	f := &Forest{nFeat: len(samples[0].Features), nSamples: len(samples)}
-	n := len(samples)
-	for t := 0; t < cfg.Trees; t++ {
-		boot := make([]int, n)
-		for i := range boot {
-			boot[i] = rng.Intn(n)
-		}
-		f.trees = append(f.trees, growTree(samples, boot, cfg.Tree, rng))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return f, nil
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+
+	trees := make([]grownTree, cfg.Trees)
+	if workers == 1 {
+		b := newTreeBuilder(ds, targets, cfg.Tree)
+		for t := range trees {
+			trees[t] = b.grow(treeSeed(cfg.Seed, t))
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b := newTreeBuilder(ds, targets, cfg.Tree)
+				for {
+					t := int(next.Add(1)) - 1
+					if t >= len(trees) {
+						return
+					}
+					trees[t] = b.grow(treeSeed(cfg.Seed, t))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return flatten(trees, ds.nFeat, ds.n), nil
+}
+
+// flatten concatenates the grown trees into the arena in tree order,
+// rebasing child links to arena-absolute indexes and folding per-tree
+// importances in the same order (float accumulation order is fixed, so
+// the arena is byte-identical however the trees were grown).
+func flatten(trees []grownTree, nFeat, nSamples int) *Forest {
+	var total int
+	for i := range trees {
+		total += len(trees[i].feature)
+	}
+	f := &Forest{
+		feature:    make([]int32, 0, total),
+		threshold:  make([]float64, 0, total),
+		left:       make([]int32, 0, total),
+		right:      make([]int32, 0, total),
+		value:      make([]float64, 0, total),
+		roots:      make([]int32, 0, len(trees)),
+		importance: make([]float64, nFeat),
+		nFeat:      nFeat,
+		nSamples:   nSamples,
+	}
+	for i := range trees {
+		t := &trees[i]
+		base := int32(len(f.feature))
+		f.roots = append(f.roots, base)
+		f.feature = append(f.feature, t.feature...)
+		f.threshold = append(f.threshold, t.threshold...)
+		f.value = append(f.value, t.value...)
+		for _, c := range t.left {
+			f.left = append(f.left, c+base)
+		}
+		for _, c := range t.right {
+			f.right = append(f.right, c+base)
+		}
+		for k, v := range t.importance {
+			f.importance[k] += v
+		}
+	}
+	return f
+}
+
+// walk descends from arena node i to a leaf for one feature row and
+// returns its value. It is the single walk loop Predict and PredictBatch
+// share, so the two paths can never diverge.
+func (f *Forest) walk(i int32, row []float64) float64 {
+	for f.feature[i] >= 0 {
+		if row[f.feature[i]] <= f.threshold[i] {
+			i = f.left[i]
+		} else {
+			i = f.right[i]
+		}
+	}
+	return f.value[i]
 }
 
 // Predict returns the ensemble mean prediction.
@@ -66,10 +230,10 @@ func (f *Forest) Predict(features []float64) float64 {
 		return 0
 	}
 	var sum float64
-	for _, t := range f.trees {
-		sum += t.Predict(features)
+	for _, root := range f.roots {
+		sum += f.walk(root, features)
 	}
-	return sum / float64(len(f.trees))
+	return sum / float64(len(f.roots))
 }
 
 // PredictBatch predicts every feature row in one ensemble pass, writing
@@ -77,9 +241,10 @@ func (f *Forest) Predict(features []float64) float64 {
 // the slice used. The result is bit-identical to calling Predict per row —
 // each row's per-tree contributions accumulate in the same tree order and
 // the final division is the same operation — but the tree loop is the outer
-// loop, so one tree's node array stays hot in cache across the whole batch
-// and the per-tree dispatch overhead is amortized over all rows. Rows whose
-// length differs from the trained feature count predict 0, as in Predict.
+// loop, so one tree's span of the node arena stays hot in cache across the
+// whole batch and the per-tree dispatch overhead is amortized over all
+// rows. Rows whose length differs from the trained feature count predict
+// 0, as in Predict.
 func (f *Forest) PredictBatch(rows [][]float64, out []float64) []float64 {
 	if len(out) != len(rows) {
 		out = make([]float64, len(rows))
@@ -102,12 +267,12 @@ func (f *Forest) PredictBatch(rows [][]float64, out []float64) []float64 {
 		}
 		return out
 	}
-	for _, t := range f.trees {
+	for _, root := range f.roots {
 		for i, r := range rows {
-			out[i] += t.Predict(r)
+			out[i] += f.walk(root, r)
 		}
 	}
-	n := float64(len(f.trees))
+	n := float64(len(f.roots))
 	for i := range out {
 		out[i] /= n
 	}
@@ -115,20 +280,46 @@ func (f *Forest) PredictBatch(rows [][]float64, out []float64) []float64 {
 }
 
 // NumTrees returns the ensemble size.
-func (f *Forest) NumTrees() int { return len(f.trees) }
+func (f *Forest) NumTrees() int { return len(f.roots) }
 
 // NumFeatures returns the feature dimensionality the forest was trained on.
 func (f *Forest) NumFeatures() int { return f.nFeat }
 
+// NumNodes returns the total node count of the arena across all trees.
+func (f *Forest) NumNodes() int { return len(f.feature) }
+
+// treeEnd returns one past the last arena index of tree t's node block.
+func (f *Forest) treeEnd(t int) int32 {
+	if t+1 < len(f.roots) {
+		return f.roots[t+1]
+	}
+	return int32(len(f.feature))
+}
+
+// TreeNodes returns the node count of tree t.
+func (f *Forest) TreeNodes(t int) int { return int(f.treeEnd(t) - f.roots[t]) }
+
+// TreeDepth returns the maximum depth of tree t (a single leaf has
+// depth 0).
+func (f *Forest) TreeDepth(t int) int {
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		if f.feature[i] < 0 {
+			return 0
+		}
+		l, r := walk(f.left[i]), walk(f.right[i])
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(f.roots[t])
+}
+
 // FeatureImportance returns per-feature total variance reduction, normalized
 // to sum to 1 (all zeros when the forest never split).
 func (f *Forest) FeatureImportance() []float64 {
-	imp := make([]float64, f.nFeat)
-	for _, t := range f.trees {
-		for i, v := range t.importance {
-			imp[i] += v
-		}
-	}
+	imp := append([]float64(nil), f.importance...)
 	var total float64
 	for _, v := range imp {
 		total += v
@@ -141,15 +332,22 @@ func (f *Forest) FeatureImportance() []float64 {
 	return imp
 }
 
-// MemoryBytes estimates the resident size of the model (nodes dominate),
-// used by the §4.5 overhead experiment.
+// Per-element sizes of the arena slices, for MemoryBytes.
+const (
+	arenaIndexBytes = int(unsafe.Sizeof(int32(0)))
+	arenaFloatBytes = int(unsafe.Sizeof(float64(0)))
+	// arenaNodeBytes is one node's share of the SoA arena: feature,
+	// threshold, left, right, value.
+	arenaNodeBytes = 3*arenaIndexBytes + 2*arenaFloatBytes
+)
+
+// MemoryBytes reports the resident size of the model — the arena's real
+// footprint (every node's share of the SoA slices plus the per-tree roots
+// and per-feature importances), used by the §4.5 overhead experiment.
 func (f *Forest) MemoryBytes() int {
-	var nodes int
-	for _, t := range f.trees {
-		nodes += len(t.nodes)
-	}
-	const nodeBytes = 8 + 8 + 4 + 4 + 8 // feature, threshold, children, value
-	return nodes * nodeBytes
+	return len(f.feature)*arenaNodeBytes +
+		len(f.roots)*arenaIndexBytes +
+		len(f.importance)*arenaFloatBytes
 }
 
 // MSE returns the mean squared error of the forest on a sample set.
@@ -163,4 +361,84 @@ func (f *Forest) MSE(samples []Sample) float64 {
 		sum += d * d
 	}
 	return sum / float64(len(samples))
+}
+
+// forestWire mirrors Forest with exported fields for gob.
+type forestWire struct {
+	Feature     []int32
+	Threshold   []float64
+	Left, Right []int32
+	Value       []float64
+	Roots       []int32
+	Importance  []float64
+	NFeat       int
+	NSamples    int
+}
+
+// GobEncode serializes the arena. Encoding is deterministic: two forests
+// trained from the same samples, seed and configuration produce identical
+// bytes regardless of Workers, which is how the determinism tests compare
+// whole models.
+func (f *Forest) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(forestWire{
+		Feature:    f.feature,
+		Threshold:  f.threshold,
+		Left:       f.left,
+		Right:      f.right,
+		Value:      f.value,
+		Roots:      f.roots,
+		Importance: f.importance,
+		NFeat:      f.nFeat,
+		NSamples:   f.nSamples,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode restores a forest serialized by GobEncode. The arena is
+// validated structurally before installation — a truncated or corrupt
+// payload fails here with an error instead of panicking inside a later
+// Predict walk.
+func (f *Forest) GobDecode(data []byte) error {
+	var w forestWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	n := len(w.Feature)
+	if len(w.Threshold) != n || len(w.Left) != n || len(w.Right) != n || len(w.Value) != n {
+		return fmt.Errorf("mlforest: decoded arena slices have mismatched lengths")
+	}
+	if n == 0 || len(w.Roots) == 0 {
+		return fmt.Errorf("mlforest: decoded forest is empty")
+	}
+	if len(w.Importance) != w.NFeat {
+		return fmt.Errorf("mlforest: decoded importance length %d, want %d features", len(w.Importance), w.NFeat)
+	}
+	for i := 0; i < n; i++ {
+		if w.Feature[i] >= int32(w.NFeat) {
+			return fmt.Errorf("mlforest: decoded node %d splits on feature %d of %d", i, w.Feature[i], w.NFeat)
+		}
+		// Children must point strictly forward — every trained arena
+		// satisfies this because nodes append in pre-order — which both
+		// bounds the links and rules out cycles, so a corrupt payload can
+		// never make a Predict walk spin forever.
+		if w.Feature[i] >= 0 && (w.Left[i] <= int32(i) || w.Left[i] >= int32(n) || w.Right[i] <= int32(i) || w.Right[i] >= int32(n)) {
+			return fmt.Errorf("mlforest: decoded node %d has child outside the forward arena range", i)
+		}
+	}
+	for _, r := range w.Roots {
+		if r < 0 || r >= int32(n) {
+			return fmt.Errorf("mlforest: decoded root %d outside arena of %d nodes", r, n)
+		}
+	}
+	f.feature = w.Feature
+	f.threshold = w.Threshold
+	f.left = w.Left
+	f.right = w.Right
+	f.value = w.Value
+	f.roots = w.Roots
+	f.importance = w.Importance
+	f.nFeat = w.NFeat
+	f.nSamples = w.NSamples
+	return nil
 }

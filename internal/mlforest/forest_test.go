@@ -158,8 +158,8 @@ func TestMaxDepthRespected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, tree := range f.trees {
-		if d := tree.Depth(); d > 2 {
+	for i := 0; i < f.NumTrees(); i++ {
+		if d := f.TreeDepth(i); d > 2 {
 			t.Errorf("tree %d depth %d exceeds MaxDepth 2", i, d)
 		}
 	}
@@ -195,8 +195,8 @@ func TestTreeSingleLeaf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.trees[0].Depth() != 0 {
-		t.Errorf("unsplittable data produced depth %d", f.trees[0].Depth())
+	if f.TreeDepth(0) != 0 {
+		t.Errorf("unsplittable data produced depth %d", f.TreeDepth(0))
 	}
 	if got := f.Predict([]float64{1}); got != 5 {
 		t.Errorf("predict = %v", got)

@@ -159,9 +159,12 @@ func TrainLongTerm(tr *trace.Trace, upToSample int, cfg LongTermConfig) (*LongTe
 	}
 
 	// Second pass: build one training row per (VM, window) with targets
-	// from the observed series.
-	var rows [resources.NumKinds][]mlforest.Sample
-	var maxRows [resources.NumKinds][]mlforest.Sample
+	// from the observed series. The percentile and max forests share each
+	// resource's feature rows — only their target vectors differ — so the
+	// rows are kept once per resource and both forests train on one
+	// columnar matrix below.
+	var featRows [resources.NumKinds][][]float64
+	var pctTargets, maxTargets [resources.NumKinds][]float64
 	for i := range tr.VMs {
 		vm := &tr.VMs[i]
 		visible := visibleSamples(vm, upToSample)
@@ -173,26 +176,31 @@ func TrainLongTerm(tr *trace.Trace, upToSample int, cfg LongTermConfig) (*LongTe
 			pct := s.WindowPercentile(cfg.Windows, cfg.Percentile)
 			mx := s.LifetimeWindowMax(cfg.Windows)
 			for t := 0; t < cfg.Windows.PerDay; t++ {
-				feats := lt.features(tr, vm, k, t)
-				rows[k] = append(rows[k], mlforest.Sample{Features: feats, Target: pct[t]})
-				maxRows[k] = append(maxRows[k], mlforest.Sample{Features: feats, Target: mx[t]})
+				featRows[k] = append(featRows[k], lt.features(tr, vm, k, t))
+				pctTargets[k] = append(pctTargets[k], pct[t])
+				maxTargets[k] = append(maxTargets[k], mx[t])
 				lt.trainRows++
 			}
 		}
 	}
 
 	for _, k := range resources.Kinds {
-		if len(rows[k]) == 0 {
+		if len(featRows[k]) == 0 {
 			return nil, fmt.Errorf("predict: no training rows for %v (horizon %d, upTo %d)", k, tr.Horizon, upToSample)
+		}
+		// One transpose + argsort per resource, shared by both forests.
+		m, err := mlforest.NewMatrix(featRows[k])
+		if err != nil {
+			return nil, err
 		}
 		fc := cfg.Forest
 		fc.Seed = cfg.Forest.Seed + int64(k)
-		pf, err := mlforest.Train(rows[k], fc)
+		pf, err := mlforest.TrainOnMatrix(m, pctTargets[k], fc)
 		if err != nil {
 			return nil, err
 		}
 		fc.Seed += 100
-		mf, err := mlforest.Train(maxRows[k], fc)
+		mf, err := mlforest.TrainOnMatrix(m, maxTargets[k], fc)
 		if err != nil {
 			return nil, err
 		}

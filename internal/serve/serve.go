@@ -85,13 +85,16 @@ type fleetShard struct {
 // trace and one fleet. All methods are safe for concurrent use. The
 // zero value is not usable; construct with New.
 type Service struct {
-	cfg    Config
-	tr     *trace.Trace
-	fleet  *cluster.Fleet
-	cache  *ModelCache
-	key    ModelKey
-	vmByID map[int]*trace.VM
-	shards []*fleetShard
+	cfg   Config
+	tr    *trace.Trace
+	fleet *cluster.Fleet
+	cache *ModelCache
+	key   ModelKey
+	// trainCfg is the full training configuration, including the
+	// Forest.Workers throughput knob the cache key normalizes away.
+	trainCfg predict.LongTermConfig
+	vmByID   map[int]*trace.VM
+	shards   []*fleetShard
 
 	batcher *batcher
 
@@ -137,13 +140,20 @@ func New(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Service, error) {
 	ltCfg := cfg.LongTerm
 	ltCfg.Windows = cfg.Windows
 	ltCfg.Percentile = cfg.Percentile
+	// Forest.Workers only sets how many goroutines grow trees — the
+	// trained forest is byte-identical for any value — so it is zeroed in
+	// the cache key: services differing only in training parallelism share
+	// one model instead of each paying a cold start.
+	keyCfg := ltCfg
+	keyCfg.Forest.Workers = 0
 	s := &Service{
-		cfg:    cfg,
-		tr:     tr,
-		fleet:  fleet,
-		cache:  cache,
-		vmByID: make(map[int]*trace.VM, len(tr.VMs)),
-		key:    ModelKey{TraceID: Fingerprint(tr), TrainUpTo: cfg.TrainUpTo, Config: ltCfg},
+		cfg:      cfg,
+		tr:       tr,
+		fleet:    fleet,
+		cache:    cache,
+		trainCfg: ltCfg,
+		vmByID:   make(map[int]*trace.VM, len(tr.VMs)),
+		key:      ModelKey{TraceID: Fingerprint(tr), TrainUpTo: cfg.TrainUpTo, Config: keyCfg},
 	}
 	for i := range tr.VMs {
 		s.vmByID[tr.VMs[i].ID] = &tr.VMs[i]
@@ -178,7 +188,7 @@ func (s *Service) modelFor() (*predict.LongTerm, error) {
 		return m, nil
 	}
 	m, err := s.cache.Get(s.key, func() (*predict.LongTerm, error) {
-		return predict.TrainLongTerm(s.tr, s.key.TrainUpTo, s.key.Config)
+		return predict.TrainLongTerm(s.tr, s.key.TrainUpTo, s.trainCfg)
 	})
 	if err != nil {
 		return nil, err

@@ -44,7 +44,10 @@ type Config struct {
 	// training period from the evaluated period (default: day 7).
 	TrainUpTo int
 	// LongTerm configures predictor training; Windows/Percentile above
-	// override its corresponding fields.
+	// override its corresponding fields. LongTerm.Forest.Workers sets how
+	// many goroutines grow forest trees during training (0 = GOMAXPROCS)
+	// without changing the trained model — cmd/coach-sim exposes it as
+	// -train-workers.
 	LongTerm predict.LongTermConfig
 	// CPUContentionFrac: a server tick counts as CPU-contended when
 	// utilized CPU demand exceeds this fraction of server capacity
