@@ -11,6 +11,7 @@ package coach
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -92,10 +93,11 @@ func BenchmarkSec45Overheads(b *testing.B)    { benchExperiment(b, "sec45") }
 
 // Ablations (beyond the paper; see docs/DESIGN.md §5).
 
-func BenchmarkAblationWindows(b *testing.B)    { benchExperiment(b, "abl-windows") }
-func BenchmarkAblationPercentile(b *testing.B) { benchExperiment(b, "abl-percentile") }
-func BenchmarkAblationForest(b *testing.B)     { benchExperiment(b, "abl-forest") }
-func BenchmarkAblationMonitor(b *testing.B)    { benchExperiment(b, "abl-monitor") }
+func BenchmarkAblationWindows(b *testing.B)         { benchExperiment(b, "abl-windows") }
+func BenchmarkAblationPercentile(b *testing.B)      { benchExperiment(b, "abl-percentile") }
+func BenchmarkAblationForest(b *testing.B)          { benchExperiment(b, "abl-forest") }
+func BenchmarkAblationMonitor(b *testing.B)         { benchExperiment(b, "abl-monitor") }
+func BenchmarkAblationFleetMitigation(b *testing.B) { benchExperiment(b, "abl-fleetmit") }
 
 // BenchmarkSimRunParallel measures the sharded cluster-simulation engine
 // (docs/DESIGN.md §6) at 1/2/4/8 workers on the small-scale trace. The
@@ -282,6 +284,60 @@ func BenchmarkColdStart(b *testing.B) {
 			b.Fatal(err)
 		}
 		svc.Close()
+	}
+}
+
+// BenchmarkFleetTick measures the per-tick cost of the per-server memory
+// data plane (memsim server + oversubscription agent) across a servers ×
+// VMs grid — the inner loop the fleet-scale simulator executes once per
+// simulated 5-minute sample per server (docs/DESIGN.md §9). One benchmark
+// op is one fleet-wide tick: every server's working sets move, the
+// hypervisor services faults under pool pressure, and the agent runs its
+// monitoring/mitigation pass. Before/after numbers for the incremental
+// pool accounting and the reusable tick-stats frame are recorded in
+// BENCH_dataplane.json.
+func BenchmarkFleetTick(b *testing.B) {
+	for _, servers := range []int{4, 32} {
+		for _, vms := range []int{4, 16} {
+			b.Run(fmt.Sprintf("servers=%d/vms=%d", servers, vms), func(b *testing.B) {
+				fleet := make([]*Server, servers)
+				for s := range fleet {
+					cfg := DefaultServerConfig(3*float64(vms), 2*float64(vms))
+					cfg.Agent.Policy = MitigateExtend
+					srv, err := NewServer(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for v := 1; v <= vms; v++ {
+						vm, err := NewVMMemory(v, 8, 2)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := srv.Server.AddVM(vm); err != nil {
+							b.Fatal(err)
+						}
+						vm.SetWSS(4)
+					}
+					fleet[s] = srv
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for s, srv := range fleet {
+						// Deterministic drift keeps demand moving around the
+						// pool limit so faults, evictions and mitigations all
+						// stay on the hot path.
+						wss := 4 + 3*math.Sin(float64(i+7*s)*0.1)
+						for _, id := range srv.Server.VMs() {
+							srv.Server.VM(id).SetWSS(wss + 0.1*float64(id))
+						}
+						if _, err := srv.Tick(300); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,12 +1,17 @@
 // Command coach-sim runs the cluster-scale simulation (§4.3): it replays a
 // synthetic trace against a fixed fleet under one or more oversubscription
-// policies and reports placed capacity and performance violations.
+// policies and reports placed capacity and performance violations. With
+// -data-plane it additionally runs the per-server memory data plane
+// (memsim + oversubscription agent) during replay and reports fleet-wide
+// mitigation metrics per mitigation policy (§4.4 at fleet scale).
 //
 // Usage:
 //
 //	coach-sim [-scale small|medium|full] [-policy None|Single|Coach|AggrCoach|all]
 //	          [-percentile 95] [-windows 6] [-fleet-frac 0.55] [-workers 0]
 //	          [-train-workers 0]
+//	          [-data-plane] [-mitigation None|Trim|Extend|Migrate|all]
+//	          [-mitigation-mode Reactive|Proactive] [-dp-pool-frac 0.02]
 package main
 
 import (
@@ -14,7 +19,9 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/coach-oss/coach/internal/agent"
 	"github.com/coach-oss/coach/internal/experiments"
+	"github.com/coach-oss/coach/internal/predict"
 	"github.com/coach-oss/coach/internal/report"
 	"github.com/coach-oss/coach/internal/resources"
 	"github.com/coach-oss/coach/internal/scheduler"
@@ -30,6 +37,10 @@ func main() {
 	fleetFrac := flag.Float64("fleet-frac", 0.55, "fleet capacity as a fraction of peak demand")
 	workers := flag.Int("workers", 0, "shard replay workers (0 = GOMAXPROCS); results are identical for any value")
 	trainWorkers := flag.Int("train-workers", 0, "goroutines growing forest trees during model training (0 = GOMAXPROCS); the model is identical for any value")
+	dataPlane := flag.Bool("data-plane", false, "run the per-server memory data plane (memsim + agent) during replay")
+	mitigation := flag.String("mitigation", "all", "mitigation policy: None, Trim, Extend, Migrate or all (requires -data-plane)")
+	mitigationMode := flag.String("mitigation-mode", "Reactive", "mitigation triggering: Reactive or Proactive")
+	dpPoolFrac := flag.Float64("dp-pool-frac", 0.02, "oversubscribed pool as a fraction of server memory; small values provoke the contention the mitigation ladder resolves")
 	flag.Parse()
 
 	s, err := experiments.ParseScale(*scale)
@@ -37,6 +48,7 @@ func main() {
 		fatal(err)
 	}
 	ctx := experiments.NewContext(s)
+	ctx.TrainWorkers = *trainWorkers
 	tr, err := ctx.Trace()
 	if err != nil {
 		fatal(err)
@@ -50,14 +62,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	t := &report.Table{
-		Title: fmt.Sprintf("Cluster simulation (%s scale, %d servers, %dx%gh windows)",
-			s, len(fleet.Servers), *windows, 24/float64(*windows)),
-		Headers: []string{"policy", "requested", "placed", "placed %", "oversubscribed",
-			"CPU viol %", "mem viol %", "servers used", "over-alloc mem %", "under-alloc mem %"},
+	if *dataPlane && *policy == "all" {
+		// One scheduler policy per data-plane sweep; default to AggrCoach,
+		// whose P50 guaranteed portions exercise the oversubscribed path.
+		policies = []scheduler.PolicyKind{scheduler.PolicyAggrCoach}
 	}
-	for _, p := range policies {
+
+	mkConfig := func(p scheduler.PolicyKind) sim.Config {
 		cfg := sim.ConfigForPolicy(p)
 		cfg.Windows = timeseries.Windows{PerDay: *windows}
 		cfg.TrainUpTo = tr.Horizon / 2
@@ -66,16 +77,91 @@ func main() {
 		if *percentile > 0 {
 			cfg.Percentile = *percentile
 		}
-		res, err := sim.Run(tr, fleet, cfg)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", p, err))
-		}
+		return cfg
+	}
+
+	t := &report.Table{
+		Title: fmt.Sprintf("Cluster simulation (%s scale, %d servers, %dx%gh windows)",
+			s, len(fleet.Servers), *windows, 24/float64(*windows)),
+		Headers: []string{"policy", "requested", "placed", "placed %", "oversubscribed",
+			"CPU viol %", "mem viol %", "servers used", "over-alloc mem %", "under-alloc mem %"},
+	}
+	addRow := func(res *sim.Result, p scheduler.PolicyKind) {
 		t.AddRow(p.String(), res.Requested, res.Placed, 100*res.PlacedFrac(),
 			res.Oversubscribed, 100*res.CPUViolationFrac(), 100*res.MemViolationFrac(),
 			res.UsedServers, 100*res.MeanOverAllocFrac(resources.Memory),
 			100*res.UnderAllocFrac(resources.Memory))
 	}
+
+	if !*dataPlane {
+		for _, p := range policies {
+			res, err := sim.Run(tr, fleet, mkConfig(p))
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", p, err))
+			}
+			addRow(res, p)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	mode, err := agent.ParseMode(*mitigationMode)
+	if err != nil {
+		fatal(err)
+	}
+	mits, err := parseMitigations(*mitigation)
+	if err != nil {
+		fatal(err)
+	}
+	p := policies[0]
+	// The mitigation policy never affects training: train the predictor
+	// once and share it across the sweep.
+	cfg := mkConfig(p)
+	if p != scheduler.PolicyNone {
+		ltCfg := cfg.LongTerm
+		ltCfg.Windows = cfg.Windows
+		ltCfg.Percentile = cfg.Percentile
+		model, err := predict.TrainLongTerm(tr, cfg.TrainUpTo, ltCfg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Model = model
+	}
+	dpTable := &report.Table{
+		Title: fmt.Sprintf("Fleet memory data plane (%s scheduler, %s triggering, pool %g%% of server memory)",
+			p, mode, 100**dpPoolFrac),
+		Headers: []string{"mitigation", "contentions", "trims", "extends", "migrations",
+			"trimmed GB", "extended GB", "migrated GB", "hard-fault GB", "soft-fault %",
+			"stolen GB", "P50 ns", "P99 ns", "max ns"},
+	}
+	for i, m := range mits {
+		cfg.DataPlane = true
+		cfg.MitigationPolicy = m
+		cfg.MitigationMode = mode
+		cfg.DataPlanePoolFrac = *dpPoolFrac
+		cfg.DataPlaneUnallocFrac = *dpPoolFrac
+		res, err := sim.Run(tr, fleet, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s/%s: %w", p, m, err))
+		}
+		if i == 0 {
+			// Capacity results do not depend on the mitigation policy.
+			addRow(res, p)
+		}
+		dp := res.DataPlane
+		dpTable.AddRow(m.String(), dp.Counters.Contentions, dp.Counters.Trims,
+			dp.Counters.Extends, dp.Counters.Migrations,
+			dp.Totals.TrimmedGB, dp.Totals.ExtendedGB, dp.Totals.MigratedGB,
+			dp.Totals.HardFaultGB, 100*dp.SoftFaultFrac(), dp.Totals.StolenGB,
+			dp.AccessP50Ns(), dp.AccessP99Ns(), dp.AccessMaxNs())
+	}
 	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := dpTable.Render(os.Stdout); err != nil {
 		fatal(err)
 	}
 }
@@ -90,6 +176,17 @@ func parsePolicies(s string) ([]scheduler.PolicyKind, error) {
 		}
 	}
 	return nil, fmt.Errorf("unknown policy %q", s)
+}
+
+func parseMitigations(s string) ([]agent.Policy, error) {
+	if s == "all" {
+		return []agent.Policy{agent.PolicyNone, agent.PolicyTrim, agent.PolicyExtend, agent.PolicyMigrate}, nil
+	}
+	p, err := agent.ParsePolicy(s)
+	if err != nil {
+		return nil, err
+	}
+	return []agent.Policy{p}, nil
 }
 
 func fatal(err error) {

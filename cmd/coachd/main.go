@@ -10,12 +10,21 @@
 //	       [-policy none|single|coach|aggrcoach]
 //	       [-batch-max N] [-batch-wait D] [-no-batch] [-lazy-train]
 //	       [-train-workers N]
+//	       [-data-plane] [-mitigation None|Trim|Extend|Migrate]
+//	       [-mitigation-mode Reactive|Proactive] [-dp-interval 2s]
 //
 // On start, coachd generates the trace for the chosen scale, trains the
 // long-term predictor on the first half (unless -lazy-train defers that
 // to the first request), and serves until SIGINT/SIGTERM, then shuts
 // down gracefully: in-flight requests finish, the prediction batcher
 // drains, new requests get 503.
+//
+// With -data-plane every fleet server runs the memory data plane (memsim
+// server + oversubscription agent): admitted VMs attach their memory, and
+// every -dp-interval of wall time the fleet advances by one simulated
+// 5-minute sample — working sets follow each VM's utilization series and
+// the agents trim/extend/migrate under pressure. GET /v1/stats reports
+// the fleet-wide aggregates (docs/api.md).
 //
 // Endpoints (full schemas and curl examples in docs/api.md):
 //
@@ -36,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/coach-oss/coach/internal/agent"
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/experiments"
 	"github.com/coach-oss/coach/internal/scheduler"
@@ -53,20 +63,48 @@ func main() {
 	noBatch := flag.Bool("no-batch", false, "disable the prediction batcher (per-request inference)")
 	lazyTrain := flag.Bool("lazy-train", false, "defer model training to the first prediction request")
 	trainWorkers := flag.Int("train-workers", 0, "goroutines growing forest trees during training (0 = GOMAXPROCS); the model is identical for any value")
+	dataPlane := flag.Bool("data-plane", false, "run the per-server memory data plane (memsim + oversubscription agent)")
+	mitigation := flag.String("mitigation", "Trim", "data-plane mitigation policy: None, Trim, Extend or Migrate")
+	mitigationMode := flag.String("mitigation-mode", "Reactive", "data-plane mitigation triggering: Reactive or Proactive")
+	dpInterval := flag.Duration("dp-interval", 2*time.Second, "wall-clock interval between data-plane ticks (each one simulated 5-minute sample)")
 	flag.Parse()
 
-	if err := run(*addr, *scale, *servers, *policy, *batchMax, *batchWait, *noBatch, *lazyTrain, *trainWorkers); err != nil {
+	opts := options{
+		addr: *addr, scale: *scale, servers: *servers, policy: *policy,
+		batchMax: *batchMax, batchWait: *batchWait, noBatch: *noBatch,
+		lazyTrain: *lazyTrain, trainWorkers: *trainWorkers,
+		dataPlane: *dataPlane, mitigation: *mitigation,
+		mitigationMode: *mitigationMode, dpInterval: *dpInterval,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "coachd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, scale string, servers int, policy string, batchMax int, batchWait time.Duration, noBatch, lazyTrain bool, trainWorkers int) error {
-	pk, err := parsePolicy(policy)
+// options carries the parsed flags.
+type options struct {
+	addr           string
+	scale          string
+	servers        int
+	policy         string
+	batchMax       int
+	batchWait      time.Duration
+	noBatch        bool
+	lazyTrain      bool
+	trainWorkers   int
+	dataPlane      bool
+	mitigation     string
+	mitigationMode string
+	dpInterval     time.Duration
+}
+
+func run(o options) error {
+	pk, err := parsePolicy(o.policy)
 	if err != nil {
 		return err
 	}
-	sc, err := experiments.ParseScale(scale)
+	sc, err := experiments.ParseScale(o.scale)
 	if err != nil {
 		return err
 	}
@@ -76,17 +114,29 @@ func run(addr, scale string, servers int, policy string, batchMax int, batchWait
 	if err != nil {
 		return err
 	}
-	fleet := cluster.NewFleet(cluster.DefaultClusters(servers))
+	fleet := cluster.NewFleet(cluster.DefaultClusters(o.servers))
 
 	cfg := serve.DefaultConfig()
 	cfg.Policy = pk
-	cfg.Batch = serve.BatchConfig{Disabled: noBatch, MaxBatch: batchMax, MaxWait: batchWait}
-	cfg.LongTerm.Forest.Workers = trainWorkers
+	cfg.Batch = serve.BatchConfig{Disabled: o.noBatch, MaxBatch: o.batchMax, MaxWait: o.batchWait}
+	cfg.LongTerm.Forest.Workers = o.trainWorkers
+	if o.dataPlane {
+		cfg.DataPlane = true
+		if cfg.MitigationPolicy, err = agent.ParsePolicy(o.mitigation); err != nil {
+			return err
+		}
+		if cfg.MitigationMode, err = agent.ParseMode(o.mitigationMode); err != nil {
+			return err
+		}
+		if o.dpInterval <= 0 {
+			return fmt.Errorf("non-positive -dp-interval %s", o.dpInterval)
+		}
+	}
 	svc, err := serve.New(tr, fleet, cfg)
 	if err != nil {
 		return err
 	}
-	if !lazyTrain {
+	if !o.lazyTrain {
 		start := time.Now()
 		if err := svc.Warm(); err != nil {
 			return err
@@ -94,14 +144,36 @@ func run(addr, scale string, servers int, policy string, batchMax int, batchWait
 		log.Printf("model trained in %s", time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	srv := &http.Server{Addr: o.addr, Handler: svc.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if o.dataPlane {
+		go func() {
+			log.Printf("data plane: %s/%s, one 5-minute sample per %s",
+				cfg.MitigationPolicy, cfg.MitigationMode, o.dpInterval)
+			ticker := time.NewTicker(o.dpInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := svc.TickDataPlane(); err != nil {
+						if !errors.Is(err, serve.ErrClosed) {
+							log.Printf("data plane tick: %v", err)
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("serving %d VMs on %d servers (%d clusters, policy %s) at %s",
-			len(tr.VMs), len(fleet.Servers), fleet.NumClusters(), pk, addr)
+			len(tr.VMs), len(fleet.Servers), fleet.NumClusters(), pk, o.addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -123,6 +195,15 @@ func run(addr, scale string, servers int, policy string, batchMax int, batchWait
 	st := svc.Stats()
 	log.Printf("final: placed=%d batches=%d (mean size %.1f) cache hits/misses=%d/%d",
 		st.Placed, st.Batch.Batches, st.Batch.MeanSize, st.Cache.Hits, st.Cache.Misses)
+	if st.DataPlane.Enabled {
+		log.Printf("data plane: ticks=%d attached=%d pool used %.1f/%.1f GB, trims=%d (%.1f GB) extends=%d (%.1f GB) migrations=%d (%.1f GB), faults hard %.1f GB / soft %.1f GB, stolen %.1f GB",
+			st.DataPlane.Ticks, st.DataPlane.AttachedVMs,
+			st.DataPlane.PoolUsedGB, st.DataPlane.PoolGB,
+			st.DataPlane.Trims, st.DataPlane.TrimmedGB,
+			st.DataPlane.Extends, st.DataPlane.ExtendedGB,
+			st.DataPlane.Migrations, st.DataPlane.MigratedGB,
+			st.DataPlane.HardFaultGB, st.DataPlane.SoftFaultGB, st.DataPlane.StolenGB)
+	}
 	return nil
 }
 

@@ -146,6 +146,13 @@ type (
 	VMMemory = memsim.VMMem
 	// MemoryTickStats reports one VM's per-tick memory behaviour.
 	MemoryTickStats = memsim.TickStats
+	// MemoryTickFrame is one tick's per-VM stats in deterministic
+	// (ascending VM id) order, returned by Server.Tick; the server owns
+	// and reuses it across ticks.
+	MemoryTickFrame = memsim.TickFrame
+	// MemoryTotals are a server's cumulative mitigation and paging
+	// volumes (trimmed/extended/migrated/faulted/stolen GB).
+	MemoryTotals = memsim.Totals
 	// MitigationPolicy selects None/Trim/Extend/Migrate.
 	MitigationPolicy = agent.Policy
 	// MitigationMode selects Reactive or Proactive.
@@ -200,10 +207,19 @@ func NewWorkloadRunner(spec Workload, vm *VMMemory, cfg memsim.Config) (*Workloa
 type (
 	// SimConfig parameterizes a cluster simulation run. Its Workers
 	// field bounds how many cluster shards replay concurrently
-	// (0 = GOMAXPROCS); the Result is identical for any value.
+	// (0 = GOMAXPROCS); the Result is identical for any value. Setting
+	// DataPlane runs the per-server memory data plane (memsim +
+	// oversubscription agent) during replay under MitigationPolicy /
+	// MitigationMode.
 	SimConfig = sim.Config
-	// SimResult summarizes capacity and violations.
+	// SimResult summarizes capacity and violations; its DataPlane field
+	// (non-nil when SimConfig.DataPlane is set) aggregates fleet-wide
+	// mitigation metrics.
 	SimResult = sim.Result
+	// DataPlaneResult aggregates the fleet-wide memory data plane of one
+	// simulation run: mitigation and paging volumes, agent counters and
+	// the access-latency distribution.
+	DataPlaneResult = sim.DataPlaneResult
 )
 
 // SimConfigForPolicy returns the §4.3 configuration for a policy.
@@ -277,9 +293,13 @@ type (
 	ModelCache = serve.ModelCache
 	// AdmitResult reports one admission decision.
 	AdmitResult = serve.AdmitResult
-	// ServiceStats snapshots admission counters, batching effectiveness
-	// and model-cache behaviour.
+	// ServiceStats snapshots admission counters, batching effectiveness,
+	// model-cache behaviour and the fleet data plane.
 	ServiceStats = serve.Stats
+	// ServiceDataPlaneStats aggregates the serving fleet's memory data
+	// plane (pool occupancy, mitigation and paging volumes); enabled via
+	// ServiceConfig.DataPlane and advanced by Service.TickDataPlane.
+	ServiceDataPlaneStats = serve.DataPlaneStats
 )
 
 // NewModelCache returns an empty trained-model cache for sharing across

@@ -93,7 +93,7 @@ func TestServerFacade(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		run.Record(st[1])
+		run.Record(st.Get(1))
 	}
 	if run.Ticks() != 30 {
 		t.Errorf("runner recorded %d ticks", run.Ticks())

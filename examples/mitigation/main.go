@@ -1,10 +1,19 @@
-// Contention mitigation: three CoachVMs share an oversubscribed memory
-// pool; one of them (Video Conf) uses more memory than predicted, causing
-// two contentions. The server's oversubscription agent detects the
-// pressure and mitigates it — trim first, then extending the pool — while
-// the colocated latency-sensitive Cache VM keeps serving.
+// Fleet-scale contention mitigation: a synthetic VM trace replays against
+// a fleet whose servers each run the memory data plane — the hypervisor's
+// oversubscribed pool plus Coach's oversubscription agent — under each of
+// the four mitigation policies of §4.4 (None, Trim, Extend, Migrate).
 //
-// This is the paper's Fig. 21 storyline with the Extend-Proactive policy.
+// The pool is deliberately sized small (2% of server memory) and the
+// scheduler uses AggrCoach's P50 guaranteed portions, so working sets
+// routinely spill into the oversubscribed region and exhaust it. Without
+// an agent the hypervisor evicts blindly and steals working-set pages
+// (paging storms); the agent instead trims known-cold memory first and
+// escalates to extending the pool or live-migrating the heaviest VM.
+//
+// This is the paper's Fig. 21 storyline at fleet scale. For the original
+// three-VM single-server storyline, run the fig21 experiment:
+//
+//	go run ./cmd/coach-experiments -run fig21
 package main
 
 import (
@@ -15,113 +24,52 @@ import (
 )
 
 func main() {
-	// A server with an 8GB oversubscribed pool and 8GB of unallocated
-	// memory the agent may claim.
-	cfg := coach.DefaultServerConfig(8, 8)
-	cfg.Agent.Policy = coach.MitigateExtend
-	cfg.Agent.Mode = coach.Proactive
-	server, err := coach.NewServer(cfg)
+	// A small two-week trace and a ten-cluster fleet.
+	traceCfg := coach.DefaultTraceConfig()
+	traceCfg.VMs = 300
+	traceCfg.Subscriptions = 30
+	tr, err := coach.GenerateTrace(traceCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fleet := coach.NewFleet(coach.DefaultClusters(1))
 
-	// Three 8GB CoachVMs: Cache and KV-Store with 3GB guaranteed, the
-	// offending Video Conf VM with only 1GB guaranteed.
-	type guest struct {
-		name string
-		vm   *coach.VMMemory
+	// The mitigation policy never affects prediction: train the model once
+	// through the platform and share it across the four runs.
+	platformCfg := coach.DefaultPlatformConfig()
+	platformCfg.Policy = coach.PolicyAggrCoach
+	platformCfg.Percentile = 50
+	platform, err := coach.NewPlatform(fleet, platformCfg)
+	if err != nil {
+		log.Fatal(err)
 	}
-	var guests []guest
-	for i, g := range []struct {
-		name string
-		pa   float64
-	}{{"Cache", 3}, {"KV-Store", 3}, {"VideoConf", 1}} {
-		vm, err := newGuest(server, i+1, 8, g.pa)
+	if err := platform.Train(tr, tr.Horizon/2); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("policy   contentions  trims  extends  migrations  trimmed-GB  extended-GB  migrated-GB  hard-fault-GB  stolen-GB")
+	for _, policy := range []coach.MitigationPolicy{
+		coach.MitigateNone, coach.MitigateTrim, coach.MitigateExtend, coach.MitigateMigrate,
+	} {
+		cfg := coach.SimConfigForPolicy(coach.PolicyAggrCoach)
+		cfg.TrainUpTo = tr.Horizon / 2
+		cfg.Model = platform.Model()
+		cfg.DataPlane = true
+		cfg.MitigationPolicy = policy
+		cfg.MitigationMode = coach.Reactive
+		cfg.DataPlanePoolFrac = 0.02
+		cfg.DataPlaneUnallocFrac = 0.02
+		res, err := coach.Simulate(tr, fleet, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		guests = append(guests, guest{g.name, vm})
+		dp := res.DataPlane
+		fmt.Printf("%-8s %11d  %5d  %7d  %10d  %10.1f  %11.1f  %11.1f  %13.1f  %9.1f\n",
+			policy, dp.Counters.Contentions, dp.Counters.Trims, dp.Counters.Extends,
+			dp.Counters.Migrations, dp.Totals.TrimmedGB, dp.Totals.ExtendedGB,
+			dp.Totals.MigratedGB, dp.Totals.HardFaultGB, dp.Totals.StolenGB)
 	}
-
-	cacheSpec, err := coach.WorkloadByName("Cache")
-	if err != nil {
-		log.Fatal(err)
-	}
-	cacheSpec.VMSizeGB, cacheSpec.WSSGB, cacheSpec.PhaseAmpGB, cacheSpec.ChurnGBs = 8, 4, 0, 0
-	cacheRun, err := coach.NewWorkloadRunner(cacheSpec, guests[0].vm, coach.DefaultMemoryConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	base := cacheRun.BaselineOpNs()
-
-	fmt.Println("t(s)  pool-free(GB)  cache-P99-slowdown  event")
-	for t := 0; t < 330; t++ {
-		now := float64(t)
-		guests[0].vm.SetWSS(cacheKVWSS(now))
-		guests[1].vm.SetWSS(cacheKVWSS(now))
-		guests[2].vm.SetWSS(videoConfWSS(now))
-
-		stats, err := server.Tick(1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if t%30 == 0 || t == 135 || t == 255 {
-			event := ""
-			switch t {
-			case 135:
-				event = "<- first contention (VideoConf grows)"
-			case 255:
-				event = "<- second contention (no cold memory left)"
-			}
-			fmt.Printf("%4d  %13.2f  %18.2f  %s\n",
-				t, server.Server.PoolFree(),
-				cacheRun.TickSlowdown(stats[1], base), event)
-		}
-	}
-	fmt.Printf("\nagent: %d contentions detected, %d trims, %d pool extensions\n",
-		server.Agent.ContentionsDetected, server.Agent.TrimsStarted, server.Agent.ExtendsStarted)
-}
-
-// videoConfWSS drives the offender's working set: warmup bump, then two
-// growth ramps at t=135 (trimmable) and t=255 (beyond all cold memory).
-func videoConfWSS(t float64) float64 {
-	switch {
-	case t < 5:
-		return 2.5
-	case t < 25:
-		return 3.5
-	case t < 135:
-		return 3
-	case t < 165:
-		return 3 + 2.5*(t-135)/30
-	case t < 255:
-		return 5.5
-	case t < 285:
-		return 5.5 + 2*(t-255)/30
-	default:
-		return 7.5
-	}
-}
-
-// cacheKVWSS drives the colocated latency-sensitive VMs: steady 4GB with a
-// warmup overshoot that leaves 1GB of trimmable cold memory each.
-func cacheKVWSS(t float64) float64 {
-	switch {
-	case t < 5:
-		return 3.5
-	case t < 30:
-		return 4
-	case t < 60:
-		return 5
-	default:
-		return 4
-	}
-}
-
-func newGuest(server *coach.Server, id int, sizeGB, paGB float64) (*coach.VMMemory, error) {
-	vm, err := coach.NewVMMemory(id, sizeGB, paGB)
-	if err != nil {
-		return nil, err
-	}
-	return vm, server.Server.AddVM(vm)
+	fmt.Println("\nNone pays for pool exhaustion with stolen working-set memory (paging")
+	fmt.Println("storms); Trim converts blind evictions into targeted cold-page trims;")
+	fmt.Println("Extend and Migrate additionally resolve deficits trimming cannot cover.")
 }

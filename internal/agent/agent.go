@@ -10,6 +10,7 @@ package agent
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/coach-oss/coach/internal/memsim"
 	"github.com/coach-oss/coach/internal/predict"
@@ -48,6 +49,17 @@ func (p Policy) String() string {
 	}
 }
 
+// ParsePolicy converts a policy name (as produced by Policy.String,
+// case-insensitively) into a Policy; the cmd tools use it for flags.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{PolicyNone, PolicyTrim, PolicyExtend, PolicyMigrate} {
+		if strings.EqualFold(s, p.String()) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("agent: unknown mitigation policy %q (None|Trim|Extend|Migrate)", s)
+}
+
 // Mode selects when mitigations trigger.
 type Mode int
 
@@ -65,6 +77,18 @@ func (m Mode) String() string {
 		return "Reactive"
 	}
 	return "Proactive"
+}
+
+// ParseMode converts a mode name (case-insensitively) into a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch {
+	case strings.EqualFold(s, "Reactive"):
+		return Reactive, nil
+	case strings.EqualFold(s, "Proactive"):
+		return Proactive, nil
+	default:
+		return 0, fmt.Errorf("agent: unknown mitigation mode %q (Reactive|Proactive)", s)
+	}
 }
 
 // Config parameterizes the agent.
@@ -145,11 +169,14 @@ func New(cfg Config, server *memsim.Server) (*Agent, error) {
 func (a *Agent) Local() *predict.Local { return a.local }
 
 // Tick must be called after every memsim Server.Tick with the same dt and
-// the returned stats; it accumulates monitoring input and, on each 20 s
-// monitoring boundary, runs detection, prediction and mitigation.
-func (a *Agent) Tick(dt float64, stats map[int]memsim.TickStats) {
-	for _, st := range stats {
-		a.faultAcc += st.FaultGB
+// the returned stats frame; it accumulates monitoring input and, on each
+// 20 s monitoring boundary, runs detection, prediction and mitigation.
+// The frame's fixed (ascending VM id) order makes the fault accumulation
+// bit-reproducible — the former map iteration summed floats in random
+// order, so identical runs could diverge in the last bits.
+func (a *Agent) Tick(dt float64, frame *memsim.TickFrame) {
+	for i := 0; i < frame.Len(); i++ {
+		a.faultAcc += frame.At(i).FaultGB
 	}
 	a.sinceMonitor += dt
 	if a.sinceMonitor < a.cfg.MonitorIntervalS {

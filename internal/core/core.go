@@ -169,8 +169,10 @@ func (sm *ServerManager) Attach(cvm *coachvm.CVM) (*memsim.VMMem, error) {
 }
 
 // Tick advances the server by dt seconds: hypervisor memory management
-// first, then the agent's monitoring/prediction/mitigation pass.
-func (sm *ServerManager) Tick(dt float64) (map[int]memsim.TickStats, error) {
+// first, then the agent's monitoring/prediction/mitigation pass. The
+// returned frame is owned by the underlying server and reused on the next
+// Tick.
+func (sm *ServerManager) Tick(dt float64) (*memsim.TickFrame, error) {
 	st, err := sm.Server.Tick(dt)
 	if err != nil {
 		return nil, err

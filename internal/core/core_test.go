@@ -127,8 +127,8 @@ func TestServerManager(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(st) != 2 {
-			t.Fatalf("tick stats for %d VMs, want 2", len(st))
+		if st.Len() != 2 {
+			t.Fatalf("tick stats for %d VMs, want 2", st.Len())
 		}
 	}
 }

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/coach-oss/coach/internal/agent"
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/memsim"
+	"github.com/coach-oss/coach/internal/resources"
+)
+
+// This file implements the fleet-scale memory data plane: one
+// memsim.Server + oversubscription agent per fleet server, managed as a
+// group so the cluster simulator (internal/sim) and the serving layer
+// (internal/serve) drive the same machinery. A DataPlane covers one
+// cluster shard — the same partition the scheduler and the parallel
+// simulator use — so shards tick concurrently without sharing state.
+// See docs/DESIGN.md §9.
+
+// DataPlaneConfig sizes the per-server data planes of a fleet.
+type DataPlaneConfig struct {
+	// Memory is the hardware/hypervisor parameterization of every server.
+	Memory memsim.Config
+	// Agent configures each server's monitoring/prediction/mitigation
+	// agent (Policy and Mode select the ladder under test).
+	Agent agent.Config
+	// PoolFrac sizes the oversubscribed pool as a fraction of the
+	// server's memory capacity; the guaranteed (PA) portions are assumed
+	// to come out of the remainder.
+	PoolFrac float64
+	// UnallocFrac is the spare memory Extend can claim, as a fraction of
+	// the server's memory capacity.
+	UnallocFrac float64
+}
+
+// DefaultDataPlaneConfig returns the fleet defaults: a quarter of each
+// server's memory backs the oversubscribed pool and a tenth is held back
+// for Extend, with the §3.6 agent settings.
+func DefaultDataPlaneConfig() DataPlaneConfig {
+	return DataPlaneConfig{
+		Memory:      memsim.DefaultConfig(),
+		Agent:       agent.DefaultConfig(),
+		PoolFrac:    0.25,
+		UnallocFrac: 0.10,
+	}
+}
+
+// AgentCounters aggregates the mitigation agents' evaluation counters.
+type AgentCounters struct {
+	Contentions int
+	Trims       int
+	Extends     int
+	Migrations  int
+}
+
+// Add returns the element-wise sum of two counter sets.
+func (c AgentCounters) Add(o AgentCounters) AgentCounters {
+	c.Contentions += o.Contentions
+	c.Trims += o.Trims
+	c.Extends += o.Extends
+	c.Migrations += o.Migrations
+	return c
+}
+
+// attachment records where a VM's memory lives and how to rebuild it
+// after a live migration re-homes it.
+type attachment struct {
+	server int
+	sizeGB float64
+	paGB   float64
+	wss    float64
+}
+
+// DataPlane manages the memory data planes of one shard's servers:
+// attachment and detachment of VM memory, per-tick working-set updates,
+// and re-homing of completed live migrations. All operations are
+// deterministic — iteration follows the server slice and ascending VM
+// ids — so replays produce bit-identical results for any worker count.
+// It is not safe for concurrent use; callers (one simulator shard, one
+// serve shard under its lock) serialize access.
+type DataPlane struct {
+	cfg     DataPlaneConfig
+	servers []*ServerManager
+	frames  []*memsim.TickFrame // last Tick's frames, parallel to servers
+	vms     map[int]*attachment
+
+	migrated []int // Tick scratch: ids re-homed by completed migrations
+}
+
+// NewDataPlane builds one ServerManager per fleet server, sizing pools
+// from each server's memory capacity.
+func NewDataPlane(cfg DataPlaneConfig, servers []*cluster.Server) (*DataPlane, error) {
+	if cfg.PoolFrac <= 0 || cfg.PoolFrac > 1 {
+		return nil, fmt.Errorf("core: pool fraction %g outside (0,1]", cfg.PoolFrac)
+	}
+	if cfg.UnallocFrac < 0 || cfg.UnallocFrac > 1 {
+		return nil, fmt.Errorf("core: unallocated fraction %g outside [0,1]", cfg.UnallocFrac)
+	}
+	d := &DataPlane{
+		cfg:     cfg,
+		servers: make([]*ServerManager, len(servers)),
+		frames:  make([]*memsim.TickFrame, len(servers)),
+		vms:     make(map[int]*attachment),
+	}
+	for i, srv := range servers {
+		mem := srv.Capacity()[resources.Memory]
+		sm, err := NewServerManager(ServerConfig{
+			Memory:        cfg.Memory,
+			Agent:         cfg.Agent,
+			PoolGB:        cfg.PoolFrac * mem,
+			UnallocatedGB: cfg.UnallocFrac * mem,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.servers[i] = sm
+	}
+	return d, nil
+}
+
+// Servers exposes the per-server managers (shared slice: do not mutate).
+func (d *DataPlane) Servers() []*ServerManager { return d.servers }
+
+// Attached returns the number of VMs currently attached.
+func (d *DataPlane) Attached() int { return len(d.vms) }
+
+// ServerOf returns the index of the server hosting id's memory, or -1.
+// After a completed live migration this can differ from the scheduler's
+// placement: the data plane re-homes memory within the shard while the
+// capacity bookkeeping stays put (see docs/DESIGN.md §9).
+func (d *DataPlane) ServerOf(id int) int {
+	if att, ok := d.vms[id]; ok {
+		return att.server
+	}
+	return -1
+}
+
+// Attach places VM id's memory on server: the guaranteed portion paGB
+// becomes the PA region, the rest of sizeGB is oversubscribed VA.
+func (d *DataPlane) Attach(server, id int, sizeGB, paGB float64) error {
+	if server < 0 || server >= len(d.servers) {
+		return fmt.Errorf("core: data-plane server %d outside [0,%d)", server, len(d.servers))
+	}
+	if _, dup := d.vms[id]; dup {
+		return fmt.Errorf("core: vm %d already attached", id)
+	}
+	if paGB > sizeGB {
+		paGB = sizeGB
+	}
+	vm, err := memsim.NewVMMem(id, sizeGB, paGB)
+	if err != nil {
+		return err
+	}
+	if err := d.servers[server].Server.AddVM(vm); err != nil {
+		return err
+	}
+	d.vms[id] = &attachment{server: server, sizeGB: sizeGB, paGB: paGB}
+	return nil
+}
+
+// Detach removes VM id's memory, freeing its pool frames. Returns false
+// when the VM is not attached.
+func (d *DataPlane) Detach(id int) bool {
+	att, ok := d.vms[id]
+	if !ok {
+		return false
+	}
+	delete(d.vms, id)
+	return d.servers[att.server].Server.RemoveVM(id)
+}
+
+// SetWSS drives VM id's working set (a no-op for unattached ids and for
+// VMs whose memory is mid-migration off their server).
+func (d *DataPlane) SetWSS(id int, wss float64) {
+	att, ok := d.vms[id]
+	if !ok {
+		return
+	}
+	att.wss = wss
+	if vm := d.servers[att.server].Server.VM(id); vm != nil {
+		vm.SetWSS(wss)
+	}
+}
+
+// Tick advances every server by dt seconds (hypervisor paging plus agent
+// pass) and re-homes VMs whose live migrations completed. It returns one
+// stats frame per server, parallel to Servers(); frames are owned by the
+// servers and overwritten on the next Tick.
+func (d *DataPlane) Tick(dt float64) ([]*memsim.TickFrame, error) {
+	d.migrated = d.migrated[:0]
+	for i, sm := range d.servers {
+		f, err := sm.Tick(dt)
+		if err != nil {
+			return nil, err
+		}
+		d.frames[i] = f
+		for j := 0; j < f.Len(); j++ {
+			if !f.Departed(j) {
+				continue
+			}
+			id := f.ID(j)
+			if att, ok := d.vms[id]; ok && att.server == i {
+				d.migrated = append(d.migrated, id)
+			}
+		}
+	}
+	for _, id := range d.migrated {
+		if err := d.rehome(id); err != nil {
+			return nil, err
+		}
+	}
+	return d.frames, nil
+}
+
+// rehome lands a migrated VM's memory on the shard server with the most
+// free pool (ties break on the lowest index, so the choice is
+// deterministic), preferring a server other than the source. The memory
+// arrives cold: the working set demand-faults back in at the target — the
+// post-migration warmup live migration pays in practice. With a
+// single-server shard the VM re-lands on the same host.
+func (d *DataPlane) rehome(id int) error {
+	att := d.vms[id]
+	target, bestFree := -1, -1.0
+	for i, sm := range d.servers {
+		if i == att.server && len(d.servers) > 1 {
+			continue
+		}
+		if free := sm.Server.PoolFree(); free > bestFree {
+			target, bestFree = i, free
+		}
+	}
+	vm, err := memsim.NewVMMem(id, att.sizeGB, att.paGB)
+	if err != nil {
+		return err
+	}
+	if err := d.servers[target].Server.AddVM(vm); err != nil {
+		return err
+	}
+	att.server = target
+	vm.SetWSS(att.wss)
+	return nil
+}
+
+// Totals sums the servers' cumulative data-plane volumes in server order.
+func (d *DataPlane) Totals() memsim.Totals {
+	var t memsim.Totals
+	for _, sm := range d.servers {
+		t = t.Add(sm.Server.Totals())
+	}
+	return t
+}
+
+// Counters sums the agents' mitigation counters in server order.
+func (d *DataPlane) Counters() AgentCounters {
+	var c AgentCounters
+	for _, sm := range d.servers {
+		c.Contentions += sm.Agent.ContentionsDetected
+		c.Trims += sm.Agent.TrimsStarted
+		c.Extends += sm.Agent.ExtendsStarted
+		c.Migrations += sm.Agent.MigrationsStarted
+	}
+	return c
+}
+
+// PoolGB returns the fleet-wide oversubscribed pool size.
+func (d *DataPlane) PoolGB() float64 {
+	var t float64
+	for _, sm := range d.servers {
+		t += sm.Server.PoolGB()
+	}
+	return t
+}
+
+// PoolUsedGB returns the fleet-wide pool frames in use.
+func (d *DataPlane) PoolUsedGB() float64 {
+	var t float64
+	for _, sm := range d.servers {
+		t += sm.Server.PoolUsed()
+	}
+	return t
+}

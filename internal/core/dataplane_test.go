@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/coach-oss/coach/internal/agent"
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/resources"
+)
+
+// dpFixture builds a data plane over n identical servers with the given
+// mitigation policy and pool sizing.
+func dpFixture(t *testing.T, n int, policy agent.Policy, poolFrac, unallocFrac float64) *DataPlane {
+	t.Helper()
+	cfg := DefaultDataPlaneConfig()
+	cfg.Agent.Policy = policy
+	cfg.PoolFrac = poolFrac
+	cfg.UnallocFrac = unallocFrac
+	servers := make([]*cluster.Server, n)
+	for i := range servers {
+		servers[i] = &cluster.Server{
+			ID:   i,
+			Spec: cluster.ServerSpec{Name: "t", Generation: 1, Capacity: resources.NewVector(16, 64, 10, 100)},
+		}
+	}
+	dp, err := NewDataPlane(cfg, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+func TestNewDataPlaneValidation(t *testing.T) {
+	cfg := DefaultDataPlaneConfig()
+	cfg.PoolFrac = 0
+	if _, err := NewDataPlane(cfg, nil); err == nil {
+		t.Error("zero pool fraction must fail")
+	}
+	cfg = DefaultDataPlaneConfig()
+	cfg.UnallocFrac = -1
+	if _, err := NewDataPlane(cfg, nil); err == nil {
+		t.Error("negative unallocated fraction must fail")
+	}
+}
+
+func TestDataPlaneAttachDetach(t *testing.T) {
+	dp := dpFixture(t, 2, agent.PolicyTrim, 0.25, 0.1)
+	if err := dp.Attach(0, 1, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dp.Attach(0, 1, 8, 2); err == nil {
+		t.Error("duplicate attach must fail")
+	}
+	if err := dp.Attach(5, 2, 8, 2); err == nil {
+		t.Error("out-of-range server must fail")
+	}
+	// A guaranteed portion above the VM size is clamped, not an error:
+	// fully guaranteed VMs have no oversubscribed region.
+	if err := dp.Attach(1, 3, 8, 12); err != nil {
+		t.Fatal(err)
+	}
+	if dp.Attached() != 2 || dp.ServerOf(1) != 0 || dp.ServerOf(3) != 1 || dp.ServerOf(9) != -1 {
+		t.Error("attachment bookkeeping wrong")
+	}
+	dp.SetWSS(1, 5)
+	frames, err := dp.Tick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 || frames[0].Len() != 1 || frames[1].Len() != 1 {
+		t.Fatal("expected one VM per server frame")
+	}
+	if !dp.Detach(1) || dp.Detach(1) {
+		t.Error("detach semantics wrong")
+	}
+	if dp.Servers()[0].Server.VM(1) != nil {
+		t.Error("detach left VM on server")
+	}
+}
+
+// TestDataPlaneMigrationRehomes drives one server into contention under
+// the Migrate policy and checks that the victim's memory lands on the
+// other (emptier) server deterministically.
+func TestDataPlaneMigrationRehomes(t *testing.T) {
+	// Pool 4GB per server (64 * 0.0625), no unallocated memory.
+	dp := dpFixture(t, 2, agent.PolicyMigrate, 0.0625, 0)
+	for id := 1; id <= 3; id++ {
+		if err := dp.Attach(0, id, 16, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved := -1
+	for tick := 0; tick < 600 && moved < 0; tick++ {
+		for id := 1; id <= 3; id++ {
+			dp.SetWSS(id, 4) // 3GB VA demand each: 9GB against a 4GB pool
+		}
+		if _, err := dp.Tick(1); err != nil {
+			t.Fatal(err)
+		}
+		for id := 1; id <= 3; id++ {
+			if dp.ServerOf(id) == 1 {
+				moved = id
+			}
+		}
+	}
+	if moved < 0 {
+		t.Fatal("no VM was migrated off the contended server")
+	}
+	if dp.Counters().Migrations == 0 {
+		t.Error("migration not counted")
+	}
+	if dp.Totals().MigratedGB <= 0 {
+		t.Error("migrated volume not accounted")
+	}
+	vm := dp.Servers()[1].Server.VM(moved)
+	if vm == nil {
+		t.Fatal("re-homed VM missing from target server")
+	}
+	if vm.WSS() != 4 {
+		t.Errorf("re-homed VM working set %v, want 4", vm.WSS())
+	}
+}
+
+// TestDataPlaneLadderOrdering scripts the §3.4 ladder at fleet scale:
+// cold memory accumulates first, pressure follows, and the agent must
+// trim before it extends (Extend policy) or migrates (Migrate policy).
+func TestDataPlaneLadderOrdering(t *testing.T) {
+	for _, policy := range []agent.Policy{agent.PolicyExtend, agent.PolicyMigrate} {
+		// Pool 8GB per server (64 * 0.125).
+		dp := dpFixture(t, 2, policy, 0.125, 0.125)
+		for srv := 0; srv < 2; srv++ {
+			for i := 0; i < 2; i++ {
+				if err := dp.Attach(srv, 10*srv+i+1, 24, 2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		firstTrim, firstEscalate := -1, -1
+		for tick := 0; tick < 400; tick++ {
+			for srv := 0; srv < 2; srv++ {
+				holder, grower := 10*srv+1, 10*srv+2
+				switch {
+				case tick < 40:
+					dp.SetWSS(holder, 7) // touch 5GB of VA
+					dp.SetWSS(grower, 4)
+				case tick < 80:
+					dp.SetWSS(holder, 4) // 3GB goes cold: the trim reserve
+					dp.SetWSS(grower, 4)
+				default:
+					dp.SetWSS(holder, 4)
+					dp.SetWSS(grower, 14) // 12GB VA demand against 8GB pool
+				}
+			}
+			if _, err := dp.Tick(1); err != nil {
+				t.Fatal(err)
+			}
+			c := dp.Counters()
+			if firstTrim < 0 && c.Trims > 0 {
+				firstTrim = tick
+			}
+			if firstEscalate < 0 && c.Extends+c.Migrations > 0 {
+				firstEscalate = tick
+			}
+		}
+		c := dp.Counters()
+		if c.Trims == 0 {
+			t.Fatalf("%s: agent never trimmed despite cold reserve", policy)
+		}
+		if c.Extends+c.Migrations == 0 {
+			t.Fatalf("%s: agent never escalated past trimming", policy)
+		}
+		if policy == agent.PolicyExtend && c.Migrations != 0 {
+			t.Errorf("Extend policy must not migrate (got %d)", c.Migrations)
+		}
+		if policy == agent.PolicyMigrate && c.Extends != 0 {
+			t.Errorf("Migrate policy must not extend (got %d)", c.Extends)
+		}
+		if firstTrim > firstEscalate {
+			t.Errorf("%s: first trim at tick %d after first escalation at %d — ladder order violated",
+				policy, firstTrim, firstEscalate)
+		}
+	}
+}
+
+// TestDataPlaneDeterministic replays the ladder scenario twice and
+// requires bit-identical totals — the fleet-scale determinism the sharded
+// simulator's byte-identity guarantee rests on.
+func TestDataPlaneDeterministic(t *testing.T) {
+	run := func() ([4]float64, AgentCounters) {
+		dp := dpFixture(t, 3, agent.PolicyExtend, 0.125, 0.125)
+		for srv := 0; srv < 3; srv++ {
+			for i := 0; i < 3; i++ {
+				if err := dp.Attach(srv, 10*srv+i+1, 24, 2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for tick := 0; tick < 300; tick++ {
+			for srv := 0; srv < 3; srv++ {
+				for i := 0; i < 3; i++ {
+					dp.SetWSS(10*srv+i+1, 4+3*float64((tick+17*i)%50)/10)
+				}
+			}
+			if _, err := dp.Tick(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tot := dp.Totals()
+		return [4]float64{tot.TrimmedGB, tot.ExtendedGB, tot.HardFaultGB, dp.PoolUsedGB()}, dp.Counters()
+	}
+	sigA, cA := run()
+	sigB, cB := run()
+	if sigA != sigB || cA != cB {
+		t.Errorf("data plane not deterministic: %v/%v vs %v/%v", sigA, cA, sigB, cB)
+	}
+}

@@ -179,8 +179,8 @@ func runFig21PolicyWithInterval(p fig21Policy, monitorIntervalS float64) (*fig21
 		ag.Tick(1, st)
 
 		run.poolAvail = append(run.poolAvail, srv.PoolFree())
-		run.cacheSlow = append(run.cacheSlow, cacheRun.TickSlowdown(st[cacheID], cacheBase))
-		run.kvSlow = append(run.kvSlow, kvRun.TickSlowdown(st[kvID], kvBase))
+		run.cacheSlow = append(run.cacheSlow, cacheRun.TickSlowdown(st.Get(cacheID), cacheBase))
+		run.kvSlow = append(run.kvSlow, kvRun.TickSlowdown(st.Get(kvID), kvBase))
 	}
 	return run, nil
 }

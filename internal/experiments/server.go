@@ -76,7 +76,7 @@ func runSteadyState(paGB, vaGB, wssGB float64, poolGB float64, ticks int) (float
 		}
 		// Skip the initial fault-in transient.
 		if i >= ticks/4 {
-			sum += st[1].Slowdown(cfg)
+			sum += st.Get(1).Slowdown(cfg)
 			n++
 		}
 	}
@@ -235,7 +235,7 @@ func runWorkloadVariant(spec workload.Spec, v VMVariant, seconds int) (*workload
 		}
 		ag.Tick(1, st)
 		if t >= warmup {
-			r.Record(st[1])
+			r.Record(st.Get(1))
 		}
 	}
 	return r, nil

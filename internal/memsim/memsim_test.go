@@ -393,7 +393,7 @@ func TestBlindEvictionStealsUnderPressure(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		stolen += st[1].StolenGB + st[2].StolenGB
+		stolen += st.Get(1).StolenGB + st.Get(2).StolenGB
 	}
 	if stolen == 0 {
 		t.Error("pool pressure without cold memory must steal working-set pages")
@@ -411,36 +411,27 @@ func TestTickStatsLatencyOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st[1].MeanNs != cfg.PAAccessNs {
-		t.Errorf("fully guaranteed VM mean = %v, want %v", st[1].MeanNs, cfg.PAAccessNs)
+	if st.Get(1).MeanNs != cfg.PAAccessNs {
+		t.Errorf("fully guaranteed VM mean = %v, want %v", st.Get(1).MeanNs, cfg.PAAccessNs)
 	}
-	if st[1].Slowdown(cfg) != 1 {
-		t.Errorf("slowdown = %v", st[1].Slowdown(cfg))
+	if st.Get(1).Slowdown(cfg) != 1 {
+		t.Errorf("slowdown = %v", st.Get(1).Slowdown(cfg))
 	}
 }
 
 func TestMixtureQuantile(t *testing.T) {
-	lats := []float64{100, 140, 2000, 150000}
-	cases := []struct {
-		probs []float64
-		want  float64
-	}{
-		{[]float64{1, 0, 0, 0}, 100},
-		{[]float64{0.5, 0.5, 0, 0}, 140},
-		{[]float64{0.98, 0, 0, 0.02}, 150000},   // 2% hard faults -> P99 is a fault
-		{[]float64{0.985, 0, 0.01, 0.005}, 100}, // 1.5% total tail just under... 0.005 <= 0.01, 0.015 > 0.01 -> soft
-	}
-	_ = cases[3]
-	if got := mixtureQuantile(0.99, cases[0].probs, lats); got != 100 {
+	lats := [4]float64{100, 140, 2000, 150000}
+	if got := mixtureQuantile(0.99, [4]float64{1, 0, 0, 0}, lats); got != 100 {
 		t.Errorf("pure PA quantile = %v", got)
 	}
-	if got := mixtureQuantile(0.99, cases[1].probs, lats); got != 140 {
+	if got := mixtureQuantile(0.99, [4]float64{0.5, 0.5, 0, 0}, lats); got != 140 {
 		t.Errorf("half VA quantile = %v", got)
 	}
-	if got := mixtureQuantile(0.99, cases[2].probs, lats); got != 150000 {
+	// 2% hard faults -> P99 is a fault.
+	if got := mixtureQuantile(0.99, [4]float64{0.98, 0, 0, 0.02}, lats); got != 150000 {
 		t.Errorf("2%% hard-fault quantile = %v", got)
 	}
-	if got := mixtureQuantile(0.99, []float64{0.985, 0, 0.015, 0}, lats); got != 2000 {
+	if got := mixtureQuantile(0.99, [4]float64{0.985, 0, 0.015, 0}, lats); got != 2000 {
 		t.Errorf("soft-tail quantile = %v", got)
 	}
 }
@@ -460,5 +451,211 @@ func TestFaultPages(t *testing.T) {
 	cfg.PageMB = 0
 	if cfg.FaultPages(1) != 0 {
 		t.Error("zero page size must return 0")
+	}
+}
+
+// busyServer builds a server under enough pressure that every mechanism —
+// faulting, trimming, extension, migration, blind eviction — runs.
+func busyServer(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer(DefaultConfig(), 10, 6)
+	for i := 1; i <= 6; i++ {
+		vm := mustVM(t, i, 12, 2)
+		if err := s.AddVM(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func driveBusyTick(t *testing.T, s *Server, tick int) *TickFrame {
+	t.Helper()
+	for j, id := range s.VMs() {
+		// Phases shift per VM so cold memory, refaults and pressure all
+		// appear at different times.
+		wss := 3 + 3*math.Sin(float64(tick+13*j)/9)
+		s.VM(id).SetWSS(wss)
+	}
+	switch tick % 40 {
+	case 11:
+		s.StartTrim(s.VMs()[tick%len(s.VMs())], 2)
+	case 23:
+		s.StartExtend(1)
+	case 31:
+		if ids := s.VMs(); len(ids) > 2 {
+			s.StartMigrate(ids[0])
+		}
+	}
+	f, err := s.Tick(1)
+	if err != nil {
+		t.Fatalf("tick %d: %v", tick, err)
+	}
+	return f
+}
+
+// TestPoolUsedIncrementalMatchesNaive pins the O(1) incremental
+// pool-resident counter to the ground-truth per-VM sum under every
+// mechanism that moves resident pages (satellite: replaces the former
+// O(VMs²) PoolUsed recomputation inside stepFaults).
+func TestPoolUsedIncrementalMatchesNaive(t *testing.T) {
+	s := busyServer(t)
+	for tick := 0; tick < 300; tick++ {
+		driveBusyTick(t, s, tick)
+		if got, want := s.PoolUsed(), s.poolUsedNaive(); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("tick %d: incremental PoolUsed %v != naive %v", tick, got, want)
+		}
+	}
+	// Removing every VM resets the counter exactly (drift cancellation).
+	for _, id := range s.VMs() {
+		s.RemoveVM(id)
+	}
+	if s.PoolUsed() != 0 {
+		t.Errorf("PoolUsed after removing all VMs = %v", s.PoolUsed())
+	}
+}
+
+// TestTickFrameSemantics covers the reusable frame: deterministic order,
+// id lookup, zero-value reads for absent ids, and buffer reuse across
+// ticks.
+func TestTickFrameSemantics(t *testing.T) {
+	s := NewServer(DefaultConfig(), 10, 0)
+	for _, id := range []int{7, 3, 5} {
+		if err := s.AddVM(mustVM(t, id, 8, 2)); err != nil {
+			t.Fatal(err)
+		}
+		s.VM(id).SetWSS(4)
+	}
+	f, err := s.Tick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	for i, want := range []int{3, 5, 7} {
+		if f.ID(i) != want {
+			t.Errorf("ID(%d) = %d, want %d", i, f.ID(i), want)
+		}
+		if got, ok := f.Lookup(want); !ok || got != f.At(i) {
+			t.Errorf("Lookup(%d) inconsistent with At(%d)", want, i)
+		}
+	}
+	if _, ok := f.Lookup(99); ok {
+		t.Error("Lookup of absent id must report false")
+	}
+	if f.Get(99) != (TickStats{}) {
+		t.Error("Get of absent id must return the zero value")
+	}
+	f2, err := s.Tick(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 != f {
+		t.Error("frame must be reused across ticks")
+	}
+}
+
+// TestTickFrameDepartedOnMigration pins the mid-tick departure marking:
+// a completed migration leaves the frame entry flagged and its Get
+// reading as zero, matching the former map-delete semantics.
+func TestTickFrameDepartedOnMigration(t *testing.T) {
+	s := NewServer(DefaultConfig(), 10, 0)
+	if err := s.AddVM(mustVM(t, 1, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.VM(1).SetWSS(3)
+	if _, err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.StartMigrate(1) {
+		t.Fatal("StartMigrate failed")
+	}
+	var last *TickFrame
+	for i := 0; i < 30 && s.VM(1) != nil; i++ {
+		f, err := s.Tick(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = f
+	}
+	if s.VM(1) != nil {
+		t.Fatal("migration never completed")
+	}
+	if last.Len() != 1 || !last.Departed(0) {
+		t.Error("completed migration must mark the frame entry departed")
+	}
+	if _, ok := last.Lookup(1); ok {
+		t.Error("departed VM must read as absent")
+	}
+	if got := s.Totals().MigratedGB; got <= 0 {
+		t.Errorf("MigratedGB = %v after completed migration", got)
+	}
+}
+
+// TestTotalsAccumulate checks the cumulative volume counters against the
+// mechanisms that feed them.
+func TestTotalsAccumulate(t *testing.T) {
+	s := busyServer(t)
+	for tick := 0; tick < 300; tick++ {
+		driveBusyTick(t, s, tick)
+	}
+	tot := s.Totals()
+	if tot.SoftFaultGB <= 0 {
+		t.Error("no demand-zero faults recorded")
+	}
+	if tot.HardFaultGB <= 0 {
+		t.Error("no hard faults recorded despite refault churn")
+	}
+	if tot.TrimmedGB <= 0 {
+		t.Error("no trims recorded despite StartTrim")
+	}
+	if tot.ExtendedGB <= 0 {
+		t.Error("no extends recorded despite StartExtend")
+	}
+	if tot.StolenGB+tot.EvictedColdGB <= 0 {
+		t.Error("no blind eviction under sustained pool pressure")
+	}
+	if f := tot.SoftFaultFrac(); f <= 0 || f >= 1 {
+		t.Errorf("soft-fault fraction %v outside (0,1)", f)
+	}
+	if got := tot.FaultGB(); math.Abs(got-(tot.SoftFaultGB+tot.HardFaultGB)) > 1e-12 {
+		t.Errorf("FaultGB %v != soft+hard", got)
+	}
+	sum := (Totals{TrimmedGB: 1, HardFaultGB: 2}).Add(Totals{TrimmedGB: 3, StolenGB: 4})
+	if sum.TrimmedGB != 4 || sum.HardFaultGB != 2 || sum.StolenGB != 4 {
+		t.Errorf("Totals.Add wrong: %+v", sum)
+	}
+}
+
+// TestTickBitIdenticalAcrossRuns is the map-order regression test: two
+// identical multi-VM runs must produce bit-identical stats and pool
+// state. Before the frame refactor, per-tick map iteration could reorder
+// float additions and diverge in the last bits.
+func TestTickBitIdenticalAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		s := busyServer(t)
+		var sig []float64
+		for tick := 0; tick < 200; tick++ {
+			f := driveBusyTick(t, s, tick)
+			sig = append(sig, s.PoolUsed(), s.PoolGB(), s.UnallocatedGB())
+			for i := 0; i < f.Len(); i++ {
+				st := f.At(i)
+				sig = append(sig, st.MeanNs, st.P99Ns, st.FaultGB, st.StolenGB,
+					st.PPA, st.PVA, st.PSoft, st.PHard)
+			}
+		}
+		tot := s.Totals()
+		sig = append(sig, tot.TrimmedGB, tot.ExtendedGB, tot.MigratedGB,
+			tot.HardFaultGB, tot.SoftFaultGB, tot.StolenGB, tot.EvictedColdGB)
+		return sig
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("signature lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at signature element %d: %v vs %v", i, a[i], b[i])
+		}
 	}
 }

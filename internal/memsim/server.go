@@ -34,6 +34,133 @@ func (t TickStats) Slowdown(cfg Config) float64 {
 	return t.MeanNs / cfg.PAAccessNs
 }
 
+// TickFrame holds one tick's per-VM stats in the server's deterministic
+// (ascending VM id) order at the start of the tick. The frame and its
+// backing arrays are owned by the server and reused on the next Tick:
+// callers must copy anything they keep. Replacing the former per-tick
+// map[int]TickStats, it makes ticking allocation-free in steady state and
+// gives every consumer (agent, fleet simulator) a fixed iteration order,
+// so float accumulations over it are bit-reproducible.
+type TickFrame struct {
+	ids      []int
+	stats    []TickStats
+	departed []bool
+}
+
+// Len returns the number of VMs present at the start of the tick.
+func (f *TickFrame) Len() int { return len(f.ids) }
+
+// ID returns the VM id at frame position i.
+func (f *TickFrame) ID(i int) int { return f.ids[i] }
+
+// At returns the stats at frame position i. For a VM that departed
+// mid-tick (completed live migration) the entry still holds the latency
+// mixture computed at tick start; check Departed.
+func (f *TickFrame) At(i int) TickStats { return f.stats[i] }
+
+// Departed reports whether the VM at position i left the server mid-tick
+// (its live migration completed).
+func (f *TickFrame) Departed(i int) bool { return f.departed[i] }
+
+// Get returns the stats for VM id, or the zero TickStats when the VM was
+// absent at the start of the tick or departed mid-tick — matching the
+// former map semantics, where such lookups read as the zero value.
+func (f *TickFrame) Get(id int) TickStats {
+	st, _ := f.Lookup(id)
+	return st
+}
+
+// Lookup is Get with an explicit presence report.
+func (f *TickFrame) Lookup(id int) (TickStats, bool) {
+	i := f.index(id)
+	if i < 0 || f.departed[i] {
+		return TickStats{}, false
+	}
+	return f.stats[i], true
+}
+
+// index returns id's frame position, or -1. ids are sorted ascending.
+func (f *TickFrame) index(id int) int {
+	i := sort.SearchInts(f.ids, id)
+	if i >= len(f.ids) || f.ids[i] != id {
+		return -1
+	}
+	return i
+}
+
+// reset re-points the frame at the given VM order, zeroing stats in place.
+func (f *TickFrame) reset(order []int) {
+	n := len(order)
+	if cap(f.ids) < n {
+		f.ids = make([]int, n)
+		f.stats = make([]TickStats, n)
+		f.departed = make([]bool, n)
+	}
+	f.ids = f.ids[:n]
+	f.stats = f.stats[:n]
+	f.departed = f.departed[:n]
+	copy(f.ids, order)
+	for i := range f.stats {
+		f.stats[i] = TickStats{}
+		f.departed[i] = false
+	}
+}
+
+// depart marks id as gone mid-tick.
+func (f *TickFrame) depart(id int) {
+	if i := f.index(id); i >= 0 {
+		f.departed[i] = true
+	}
+}
+
+// Totals are the server's cumulative data-plane volumes since creation:
+// what the mitigation mechanisms moved and what the paging machinery paid.
+// The fleet simulator sums them across servers into per-policy metrics.
+type Totals struct {
+	// TrimmedGB is cold memory written to the backing store by trim
+	// operations (agent-initiated, StartTrim).
+	TrimmedGB float64
+	// ExtendedGB is unallocated server memory added to the pool.
+	ExtendedGB float64
+	// MigratedGB is the volume copied by completed live migrations.
+	MigratedGB float64
+	// HardFaultGB is memory paged in from the backing store.
+	HardFaultGB float64
+	// SoftFaultGB is demand-zero memory materialized on first touch
+	// (including eagerly backed DMA-pinned ranges).
+	SoftFaultGB float64
+	// StolenGB is working-set memory blindly evicted under pool pressure
+	// (the thrashing the None policy suffers).
+	StolenGB float64
+	// EvictedColdGB is cold memory blindly evicted under pool pressure
+	// (hypervisor demand paging, not agent trims).
+	EvictedColdGB float64
+}
+
+// Add returns the element-wise sum of two Totals.
+func (t Totals) Add(o Totals) Totals {
+	t.TrimmedGB += o.TrimmedGB
+	t.ExtendedGB += o.ExtendedGB
+	t.MigratedGB += o.MigratedGB
+	t.HardFaultGB += o.HardFaultGB
+	t.SoftFaultGB += o.SoftFaultGB
+	t.StolenGB += o.StolenGB
+	t.EvictedColdGB += o.EvictedColdGB
+	return t
+}
+
+// FaultGB returns the total faulted volume (soft + hard).
+func (t Totals) FaultGB() float64 { return t.HardFaultGB + t.SoftFaultGB }
+
+// SoftFaultFrac returns the share of faulted volume served by demand-zero
+// soft faults rather than backing-store reads (0 when nothing faulted).
+func (t Totals) SoftFaultFrac() float64 {
+	if f := t.FaultGB(); f > 0 {
+		return t.SoftFaultGB / f
+	}
+	return 0
+}
+
 // opTrim is an in-flight trim of one VM's cold pages.
 type opTrim struct {
 	vmID   int
@@ -50,8 +177,9 @@ type opExtend struct {
 // paged-in cold memory, per §3.2 "Live migration") is copied during
 // pre-copy; on completion the VM leaves the server and its frames free.
 type opMigrate struct {
-	vmID   int
-	leftGB float64
+	vmID    int
+	leftGB  float64
+	totalGB float64
 }
 
 // Server simulates one host's oversubscribed memory pool and its VMs.
@@ -64,9 +192,21 @@ type Server struct {
 	vms   map[int]*VMMem
 	order []int // sorted VM ids for deterministic iteration
 
+	// residentGB tracks the pool frames holding resident VA pages,
+	// maintained incrementally at every admit/trim/steal/migrate so
+	// PoolUsed is O(1) instead of a per-call sum over VMs (which made
+	// stepFaults quadratic in the VM count).
+	residentGB float64
+
+	totals Totals
+
 	trims      []opTrim
 	extends    []opExtend
 	migrations []opMigrate
+
+	frame     TickFrame
+	allowance []float64 // stepFaults scratch, parallel to frame
+	pending   []int     // stepFaults scratch: frame positions with demand
 
 	now float64 // seconds
 }
@@ -87,10 +227,21 @@ func (s *Server) Now() float64 { return s.now }
 func (s *Server) PoolGB() float64 { return s.poolGB }
 
 // PoolUsed returns the pool frames currently holding resident VA pages.
+// The value is maintained incrementally (O(1)); it tracks the exact
+// per-VM sum to within float-summation noise.
 func (s *Server) PoolUsed() float64 {
+	if s.residentGB < 0 {
+		return 0
+	}
+	return s.residentGB
+}
+
+// poolUsedNaive recomputes pool usage from the per-VM populations in
+// deterministic order; tests pin the incremental counter against it.
+func (s *Server) poolUsedNaive() float64 {
 	var used float64
-	for _, vm := range s.vms {
-		used += vm.ResidentVA()
+	for _, id := range s.order {
+		used += s.vms[id].ResidentVA()
 	}
 	return used
 }
@@ -108,6 +259,9 @@ func (s *Server) PoolFree() float64 {
 // UnallocatedGB returns the spare memory Extend can still claim.
 func (s *Server) UnallocatedGB() float64 { return s.unallocGB }
 
+// Totals returns the cumulative data-plane volumes since creation.
+func (s *Server) Totals() Totals { return s.totals }
+
 // AddVM registers a VM. Its working set starts at zero; drive it with
 // VM(id).SetWSS.
 func (s *Server) AddVM(vm *VMMem) error {
@@ -117,20 +271,27 @@ func (s *Server) AddVM(vm *VMMem) error {
 	s.vms[vm.ID] = vm
 	s.order = append(s.order, vm.ID)
 	sort.Ints(s.order)
+	s.residentGB += vm.ResidentVA()
 	return nil
 }
 
 // RemoveVM detaches a VM, freeing its pool frames. Returns false if absent.
 func (s *Server) RemoveVM(id int) bool {
-	if _, ok := s.vms[id]; !ok {
+	vm, ok := s.vms[id]
+	if !ok {
 		return false
 	}
+	s.residentGB -= vm.ResidentVA()
 	delete(s.vms, id)
 	for i, v := range s.order {
 		if v == id {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
+	}
+	if len(s.vms) == 0 {
+		// Cancel residual float drift from the incremental updates.
+		s.residentGB = 0
 	}
 	return true
 }
@@ -175,7 +336,7 @@ func (s *Server) StartMigrate(vmID int) bool {
 		}
 	}
 	vol := vm.PAGB + vm.ResidentVA() + vm.Missing() + vm.coldStore
-	s.migrations = append(s.migrations, opMigrate{vmID: vmID, leftGB: vol})
+	s.migrations = append(s.migrations, opMigrate{vmID: vmID, leftGB: vol, totalGB: vol})
 	return true
 }
 
@@ -192,32 +353,34 @@ func (s *Server) Migrating(vmID int) bool {
 	return false
 }
 
-// Tick advances the simulation by dt seconds and returns per-VM stats.
-func (s *Server) Tick(dt float64) (map[int]TickStats, error) {
+// Tick advances the simulation by dt seconds and returns the per-VM stats
+// frame. The frame is owned by the server and overwritten by the next
+// Tick; copy entries that must outlive it.
+func (s *Server) Tick(dt float64) (*TickFrame, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("memsim: non-positive dt %g", dt)
 	}
-	stats := make(map[int]TickStats, len(s.vms))
+	f := &s.frame
+	f.reset(s.order)
 	// The latency mixture is evaluated against the demand present at the
 	// start of the tick: pages that must fault in during this tick are
 	// the ones whose accesses pay the fault latency.
-	for _, id := range s.order {
+	for i, id := range f.ids {
 		vm := s.vms[id]
-		var st TickStats
+		st := &f.stats[i]
 		pPA, pVA, pSoft, pHard := vm.accessMix()
 		st.PPA, st.PVA, st.PSoft, st.PHard = pPA, pVA, pSoft, pHard
 		st.MeanNs = pPA*s.cfg.PAAccessNs + pVA*s.cfg.VAAccessNs +
 			pSoft*s.cfg.SoftFaultNs + pHard*s.cfg.FaultNs
 		st.P99Ns = mixtureQuantile(0.99,
-			[]float64{pPA, pVA, pSoft, pHard},
-			[]float64{s.cfg.PAAccessNs, s.cfg.VAAccessNs, s.cfg.SoftFaultNs, s.cfg.FaultNs})
-		stats[id] = st
+			[4]float64{pPA, pVA, pSoft, pHard},
+			[4]float64{s.cfg.PAAccessNs, s.cfg.VAAccessNs, s.cfg.SoftFaultNs, s.cfg.FaultNs})
 	}
 
 	s.stepExtends(dt)
 	s.stepTrims(dt)
-	s.stepMigrations(dt, stats)
-	if err := s.stepFaults(dt, stats); err != nil {
+	s.stepMigrations(dt, f)
+	if err := s.stepFaults(dt, f); err != nil {
 		return nil, err
 	}
 	for _, id := range s.order {
@@ -226,12 +389,12 @@ func (s *Server) Tick(dt float64) (map[int]TickStats, error) {
 		}
 	}
 	s.now += dt
-	return stats, nil
+	return f, nil
 }
 
 func (s *Server) stepExtends(dt float64) {
 	budget := s.cfg.ExtendBandwidthGBs * dt
-	var rest []opExtend
+	rest := s.extends[:0]
 	for _, op := range s.extends {
 		if budget <= 0 {
 			rest = append(rest, op)
@@ -240,6 +403,7 @@ func (s *Server) stepExtends(dt float64) {
 		amount := min2(min2(op.leftGB, budget), s.unallocGB)
 		s.unallocGB -= amount
 		s.poolGB += amount
+		s.totals.ExtendedGB += amount
 		op.leftGB -= amount
 		budget -= amount
 		if op.leftGB > 1e-9 && s.unallocGB > 1e-9 {
@@ -251,7 +415,7 @@ func (s *Server) stepExtends(dt float64) {
 
 func (s *Server) stepTrims(dt float64) {
 	budget := s.cfg.TrimBandwidthGBs * dt
-	var rest []opTrim
+	rest := s.trims[:0]
 	for _, op := range s.trims {
 		vm := s.vms[op.vmID]
 		if vm == nil {
@@ -262,6 +426,8 @@ func (s *Server) stepTrims(dt float64) {
 			continue
 		}
 		amount := vm.trimCold(min2(op.leftGB, budget))
+		s.residentGB -= amount
+		s.totals.TrimmedGB += amount
 		op.leftGB -= amount
 		budget -= amount
 		if op.leftGB > 1e-9 && vm.Trimmable() > 1e-9 {
@@ -271,12 +437,12 @@ func (s *Server) stepTrims(dt float64) {
 	s.trims = rest
 }
 
-func (s *Server) stepMigrations(dt float64, stats map[int]TickStats) {
+func (s *Server) stepMigrations(dt float64, f *TickFrame) {
 	if len(s.migrations) == 0 {
 		return
 	}
 	budget := s.cfg.MigrateBandwidthGBs * dt / float64(len(s.migrations))
-	var rest []opMigrate
+	rest := s.migrations[:0]
 	for _, op := range s.migrations {
 		vm := s.vms[op.vmID]
 		if vm == nil {
@@ -285,8 +451,9 @@ func (s *Server) stepMigrations(dt float64, stats map[int]TickStats) {
 		op.leftGB -= budget
 		if op.leftGB <= 0 {
 			// Migration complete: the VM leaves, freeing its frames.
+			s.totals.MigratedGB += op.totalGB
 			s.RemoveVM(op.vmID)
-			delete(stats, op.vmID)
+			f.depart(op.vmID)
 			continue
 		}
 		rest = append(rest, op)
@@ -300,37 +467,55 @@ func (s *Server) stepMigrations(dt float64, stats map[int]TickStats) {
 // tick is capped at its demand pending when the tick started: pages stolen
 // mid-tick cannot be read back instantly (the write-out/read-back round
 // trip spans ticks), which is what makes thrashing observable.
-func (s *Server) stepFaults(dt float64, stats map[int]TickStats) error {
+func (s *Server) stepFaults(dt float64, f *TickFrame) error {
 	faultBudget := s.cfg.FaultBandwidthGBs * dt
 	evictBudget := s.cfg.EvictBandwidthGBs * dt
 
 	// DMA-pinned ranges are backed eagerly and first: devices must never
 	// hit an invalid translation (§3.2 guest enlightenments).
-	for _, id := range s.order {
+	for _, id := range f.ids {
 		vm := s.vms[id]
+		if vm == nil {
+			continue // departed mid-tick
+		}
 		want := vm.pinnedDemand()
 		if want <= 1e-9 || faultBudget <= 1e-9 {
 			continue
 		}
-		free := s.poolGB - s.PoolUsed()
+		free := s.poolGB - s.residentGB
 		if free < want {
-			free += s.makeRoom(want-free, &evictBudget, stats)
+			free += s.makeRoom(want-free, &evictBudget, f)
 		}
-		faultBudget -= vm.admitPinned(min2(min2(want, free), faultBudget))
+		got := vm.admitPinned(min2(min2(want, free), faultBudget))
+		s.residentGB += got
+		s.totals.SoftFaultGB += got
+		faultBudget -= got
 	}
 
-	allowance := make(map[int]float64, len(s.vms))
-	for _, id := range s.order {
-		allowance[id] = s.vms[id].Missing()
+	if cap(s.allowance) < len(f.ids) {
+		s.allowance = make([]float64, len(f.ids))
+	}
+	allowance := s.allowance[:len(f.ids)]
+	for i, id := range f.ids {
+		if vm := s.vms[id]; vm != nil {
+			allowance[i] = vm.Missing()
+		} else {
+			allowance[i] = 0
+		}
 	}
 
 	// Deterministic round-robin over VMs with pending demand.
+	pending := s.pending[:0]
 	for iter := 0; iter < 64 && faultBudget > 1e-9; iter++ {
-		var pending []int
+		pending = pending[:0]
 		var totalMissing float64
-		for _, id := range s.order {
-			if m := min2(s.vms[id].Missing(), allowance[id]); m > 1e-9 {
-				pending = append(pending, id)
+		for i, id := range f.ids {
+			vm := s.vms[id]
+			if vm == nil {
+				continue
+			}
+			if m := min2(vm.Missing(), allowance[i]); m > 1e-9 {
+				pending = append(pending, i)
 				totalMissing += m
 			}
 		}
@@ -338,16 +523,16 @@ func (s *Server) stepFaults(dt float64, stats map[int]TickStats) error {
 			break
 		}
 		progressed := false
-		for _, id := range pending {
-			vm := s.vms[id]
-			m := min2(vm.Missing(), allowance[id])
+		for _, i := range pending {
+			vm := s.vms[f.ids[i]]
+			m := min2(vm.Missing(), allowance[i])
 			want := min2(m, faultBudget*m/totalMissing+1e-12)
 			if want <= 1e-9 {
 				continue
 			}
-			free := s.poolGB - s.PoolUsed()
+			free := s.poolGB - s.residentGB
 			if free < want {
-				freed := s.makeRoom(want-free, &evictBudget, stats)
+				freed := s.makeRoom(want-free, &evictBudget, f)
 				free += freed
 			}
 			admit := min2(want, free)
@@ -355,11 +540,12 @@ func (s *Server) stepFaults(dt float64, stats map[int]TickStats) error {
 				continue
 			}
 			admitted, fromStore := vm.admit(admit)
+			s.residentGB += admitted
+			s.totals.HardFaultGB += fromStore
+			s.totals.SoftFaultGB += admitted - fromStore
 			faultBudget -= admitted
-			allowance[id] -= admitted
-			st := stats[id]
-			st.FaultGB += fromStore
-			stats[id] = st
+			allowance[i] -= admitted
+			f.stats[i].FaultGB += fromStore
 			if admitted > 1e-9 {
 				progressed = true
 			}
@@ -368,6 +554,7 @@ func (s *Server) stepFaults(dt float64, stats map[int]TickStats) error {
 			break
 		}
 	}
+	s.pending = pending
 	return nil
 }
 
@@ -379,7 +566,7 @@ func (s *Server) stepFaults(dt float64, stats map[int]TickStats) error {
 // storm the None policy suffers in Fig. 21 ("frequently pages out memory
 // that is paged in later"). Coach's agent avoids this by trimming
 // known-cold pages ahead of demand (StartTrim).
-func (s *Server) makeRoom(gb float64, evictBudget *float64, stats map[int]TickStats) float64 {
+func (s *Server) makeRoom(gb float64, evictBudget *float64, f *TickFrame) float64 {
 	var totalCold, totalRes float64
 	for _, id := range s.order {
 		vm := s.vms[id]
@@ -392,30 +579,36 @@ func (s *Server) makeRoom(gb float64, evictBudget *float64, stats map[int]TickSt
 	}
 	want := min2(min2(gb, *evictBudget), evictable)
 	var freed float64
-	for _, id := range s.order {
+	for i, id := range f.ids {
 		vm := s.vms[id]
+		if vm == nil {
+			continue // departed mid-tick
+		}
 		share := want * (vm.coldResident + vm.needResident) / evictable
 		coldTake := share
 		if vm.coldResident+vm.needResident > 0 {
 			coldTake = share * vm.coldResident / (vm.coldResident + vm.needResident)
 		}
-		freed += vm.trimCold(coldTake)
+		trimmed := vm.trimCold(coldTake)
+		s.totals.EvictedColdGB += trimmed
+		freed += trimmed
 		stolen := vm.stealResident(share - coldTake)
 		if stolen > 0 {
-			st := stats[id]
-			st.StolenGB += stolen
-			stats[id] = st
+			f.stats[i].StolenGB += stolen
+			s.totals.StolenGB += stolen
 			freed += stolen
 		}
 	}
+	s.residentGB -= freed
 	*evictBudget -= freed
 	return freed
 }
 
 // mixtureQuantile returns the q-quantile of a discrete latency mixture
-// given parallel probability and latency slices in ascending latency
-// order: the largest latency whose upper tail mass exceeds 1-q.
-func mixtureQuantile(q float64, probs, lats []float64) float64 {
+// given parallel probability and latency arrays in ascending latency
+// order: the largest latency whose upper tail mass exceeds 1-q. The
+// fixed-size arrays keep the per-VM tick path allocation-free.
+func mixtureQuantile(q float64, probs, lats [4]float64) float64 {
 	tail := 1 - q
 	var mass float64
 	for i := len(probs) - 1; i > 0; i-- {

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/coach-oss/coach/internal/agent"
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// dpService builds a data-plane-enabled service over the shared test
+// trace, reusing the package's model cache so training happens once.
+func dpService(t *testing.T, policy agent.Policy) (*Service, *trace.Trace) {
+	t.Helper()
+	tr := getTrace(t)
+	sc := DefaultConfig()
+	sc.Cache = testCache
+	sc.DataPlane = true
+	sc.MitigationPolicy = policy
+	sc.MitigationMode = agent.Reactive
+	svc, err := New(tr, cluster.NewFleet(cluster.DefaultClusters(2)), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, tr
+}
+
+// admitSome admits up to n evaluation-period VMs and returns them.
+func admitSome(t *testing.T, svc *Service, tr *trace.Trace, n int) []*trace.VM {
+	t.Helper()
+	var admitted []*trace.VM
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.Start < tr.Horizon/2 {
+			continue
+		}
+		res, err := svc.Admit(vm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Admitted {
+			admitted = append(admitted, vm)
+		}
+		if len(admitted) == n {
+			break
+		}
+	}
+	if len(admitted) == 0 {
+		t.Fatal("nothing admitted")
+	}
+	return admitted
+}
+
+func TestTickDataPlaneDisabled(t *testing.T) {
+	svc := newTestService(t, DefaultConfig())
+	if err := svc.TickDataPlane(); !errors.Is(err, ErrDataPlaneDisabled) {
+		t.Errorf("TickDataPlane without a data plane = %v, want ErrDataPlaneDisabled", err)
+	}
+	if st := svc.Stats(); st.DataPlane.Enabled {
+		t.Error("stats must report the data plane disabled")
+	}
+}
+
+func TestDataPlaneAdmitTickRelease(t *testing.T) {
+	svc, tr := dpService(t, agent.PolicyTrim)
+	admitted := admitSome(t, svc, tr, 20)
+
+	st := svc.Stats()
+	if !st.DataPlane.Enabled || st.DataPlane.Policy != "Trim" {
+		t.Fatalf("data plane stats not enabled: %+v", st.DataPlane)
+	}
+	if st.DataPlane.AttachedVMs != len(admitted) {
+		t.Errorf("attached %d VMs, stats say %d", len(admitted), st.DataPlane.AttachedVMs)
+	}
+	if st.DataPlane.PoolGB <= 0 {
+		t.Error("no pool capacity reported")
+	}
+
+	for i := 0; i < 12; i++ {
+		if err := svc.TickDataPlane(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = svc.Stats()
+	if st.DataPlane.Ticks != 12 {
+		t.Errorf("ticks = %d, want 12", st.DataPlane.Ticks)
+	}
+	if st.DataPlane.PoolUsedGB <= 0 && st.DataPlane.SoftFaultGB <= 0 {
+		t.Error("ticking admitted VMs moved no memory at all")
+	}
+
+	for _, vm := range admitted {
+		released, err := svc.Release(vm)
+		if err != nil || !released {
+			t.Fatalf("release %d: %v %v", vm.ID, released, err)
+		}
+	}
+	if st = svc.Stats(); st.DataPlane.AttachedVMs != 0 {
+		t.Errorf("%d VMs still attached after release", st.DataPlane.AttachedVMs)
+	}
+}
+
+// TestDataPlaneStatsDeterministic runs the same admit/tick sequence on
+// two services and requires identical data-plane aggregates.
+func TestDataPlaneStatsDeterministic(t *testing.T) {
+	run := func() DataPlaneStats {
+		svc, tr := dpService(t, agent.PolicyExtend)
+		admitSome(t, svc, tr, 30)
+		for i := 0; i < 10; i++ {
+			if err := svc.TickDataPlane(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return svc.Stats().DataPlane
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("data-plane stats diverge:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestDataPlaneConcurrentTicksAndAdmits exercises the shard locking under
+// -race: admissions, releases and ticks interleave from multiple
+// goroutines.
+func TestDataPlaneConcurrentTicksAndAdmits(t *testing.T) {
+	svc, tr := dpService(t, agent.PolicyMigrate)
+	var eval []*trace.VM
+	for i := range tr.VMs {
+		if tr.VMs[i].Start >= tr.Horizon/2 {
+			eval = append(eval, &tr.VMs[i])
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, vm := range eval {
+			if _, err := svc.Admit(vm); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := svc.TickDataPlane(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if st := svc.Stats(); st.DataPlane.Ticks != 20 {
+		t.Errorf("ticks = %d", st.DataPlane.Ticks)
+	}
+}
+
+// TestStatsEndpointCarriesDataPlane pins the /v1/stats wire format.
+func TestStatsEndpointCarriesDataPlane(t *testing.T) {
+	svc, tr := dpService(t, agent.PolicyTrim)
+	admitSome(t, svc, tr, 5)
+	if err := svc.TickDataPlane(); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		DataPlane DataPlaneStats `json:"data_plane"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.DataPlane.Enabled || body.DataPlane.Ticks != 1 || body.DataPlane.AttachedVMs == 0 {
+		t.Errorf("wire data_plane wrong: %+v", body.DataPlane)
+	}
+}

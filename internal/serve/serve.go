@@ -22,18 +22,31 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"github.com/coach-oss/coach/internal/agent"
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/core"
+	"github.com/coach-oss/coach/internal/memsim"
 	"github.com/coach-oss/coach/internal/predict"
 	"github.com/coach-oss/coach/internal/resources"
 	"github.com/coach-oss/coach/internal/scheduler"
 	"github.com/coach-oss/coach/internal/timeseries"
 	"github.com/coach-oss/coach/internal/trace"
 )
+
+// ErrDataPlaneDisabled is returned by TickDataPlane when the service was
+// built without Config.DataPlane.
+var ErrDataPlaneDisabled = errors.New("serve: data plane disabled")
+
+// dpTickSeconds is the simulated length of one data-plane tick: one
+// 5-minute utilization sample, matching the cluster simulator's replay
+// granularity.
+const dpTickSeconds = float64(timeseries.SampleMinutes) * 60
 
 // Config parameterizes a Service.
 type Config struct {
@@ -55,6 +68,16 @@ type Config struct {
 	// Cache optionally shares a trained-model cache across services.
 	// When nil the service creates a private one.
 	Cache *ModelCache
+	// DataPlane enables the per-server memory data plane: every fleet
+	// server runs a memsim server plus oversubscription agent, admitted
+	// VMs attach their memory, and TickDataPlane advances the fleet by one
+	// 5-minute sample (cmd/coachd drives it on a timer). GET /v1/stats
+	// then reports fleet-wide mitigation aggregates.
+	DataPlane bool
+	// MitigationPolicy and MitigationMode configure the per-server agents
+	// when DataPlane is set.
+	MitigationPolicy agent.Policy
+	MitigationMode   agent.Mode
 }
 
 // DefaultConfig returns the paper's deployed configuration with
@@ -79,6 +102,34 @@ type fleetShard struct {
 	admitted int64
 	released int64
 	rejected int64
+
+	// dp is the shard's memory data plane (nil unless Config.DataPlane);
+	// dpVMs tracks each attached VM's utilization cursor so TickDataPlane
+	// can replay its working set sample by sample. Both are guarded by mu.
+	dp    *core.DataPlane
+	dpVMs map[int]*dpTracked
+}
+
+// dpTracked is one admitted VM's data-plane state: age counts the
+// 5-minute ticks since admission, indexing into the VM's utilization
+// series (clamped to its last sample once the series is exhausted).
+type dpTracked struct {
+	vm  *trace.VM
+	age int
+}
+
+// wss returns the VM's current working-set size: allocation times the
+// utilization sample at the VM's age.
+func (d *dpTracked) wss() float64 {
+	s := d.vm.Util[resources.Memory]
+	if len(s) == 0 {
+		return 0
+	}
+	i := d.age
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return d.vm.Alloc[resources.Memory] * s[i]
 }
 
 // Service is a concurrency-safe prediction-and-admission server over one
@@ -97,6 +148,9 @@ type Service struct {
 	shards   []*fleetShard
 
 	batcher *batcher
+
+	// dpTicks counts completed TickDataPlane passes.
+	dpTicks atomic.Int64
 
 	closeMu sync.Mutex
 	closed  bool
@@ -166,6 +220,17 @@ func New(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Service, error) {
 				return nil, err
 			}
 			sh.sched = sched
+			if cfg.DataPlane {
+				dpCfg := core.DefaultDataPlaneConfig()
+				dpCfg.Agent.Policy = cfg.MitigationPolicy
+				dpCfg.Agent.Mode = cfg.MitigationMode
+				dp, err := core.NewDataPlane(dpCfg, servers)
+				if err != nil {
+					return nil, err
+				}
+				sh.dp = dp
+				sh.dpVMs = make(map[int]*dpTracked)
+			}
 		}
 		s.shards = append(s.shards, sh)
 	}
@@ -294,6 +359,16 @@ func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
 	sh.admitted++
 	res.Admitted = true
 	res.Server = srv
+	if sh.dp != nil {
+		err := sh.dp.Attach(srv, vm.ID,
+			vm.Alloc[resources.Memory], cvm.Guaranteed[resources.Memory])
+		if err != nil {
+			return res, err
+		}
+		tr := &dpTracked{vm: vm}
+		sh.dpVMs[vm.ID] = tr
+		sh.dp.SetWSS(vm.ID, tr.wss())
+	}
 	return res, nil
 }
 
@@ -314,8 +389,45 @@ func (s *Service) Release(vm *trace.VM) (released bool, err error) {
 	if cvm, _ := sh.sched.Remove(vm.ID); cvm == nil {
 		return false, nil
 	}
+	if sh.dp != nil {
+		sh.dp.Detach(vm.ID)
+		delete(sh.dpVMs, vm.ID)
+	}
 	sh.released++
 	return true, nil
+}
+
+// TickDataPlane advances every shard's memory data plane by one 5-minute
+// sample: each admitted VM's working set follows its utilization series
+// and every server runs hypervisor paging plus the agent's
+// monitoring/prediction/mitigation pass. cmd/coachd calls it on a wall-
+// clock timer (-dp-interval); tests drive it directly. It returns
+// ErrDataPlaneDisabled when the service was built without a data plane.
+func (s *Service) TickDataPlane() error {
+	if s.isClosed() {
+		return ErrClosed
+	}
+	if !s.cfg.DataPlane {
+		return ErrDataPlaneDisabled
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.dp == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		for id, tr := range sh.dpVMs {
+			tr.age++
+			sh.dp.SetWSS(id, tr.wss())
+		}
+		_, err := sh.dp.Tick(dpTickSeconds)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	s.dpTicks.Add(1)
+	return nil
 }
 
 // shardIndex routes a VM to its home cluster's shard, folding trace
@@ -341,22 +453,56 @@ type ClusterStats struct {
 	Rejected    int64  `json:"rejected"`
 }
 
-// Stats is a point-in-time snapshot of the service.
-type Stats struct {
-	Policy   string         `json:"policy"`
-	Placed   int            `json:"placed"`
-	Clusters []ClusterStats `json:"clusters"`
-	Batch    BatchStats     `json:"batch"`
-	Cache    CacheStats     `json:"cache"`
+// DataPlaneStats aggregates the fleet-wide memory data plane for
+// GET /v1/stats: current pool occupancy plus the cumulative mitigation
+// and paging volumes across every server's memsim + agent.
+type DataPlaneStats struct {
+	Enabled       bool    `json:"enabled"`
+	Policy        string  `json:"policy,omitempty"`
+	Mode          string  `json:"mode,omitempty"`
+	Ticks         int64   `json:"ticks"`
+	AttachedVMs   int     `json:"attached_vms"`
+	PoolGB        float64 `json:"pool_gb"`
+	PoolUsedGB    float64 `json:"pool_used_gb"`
+	TrimmedGB     float64 `json:"trimmed_gb"`
+	ExtendedGB    float64 `json:"extended_gb"`
+	MigratedGB    float64 `json:"migrated_gb"`
+	HardFaultGB   float64 `json:"hard_fault_gb"`
+	SoftFaultGB   float64 `json:"soft_fault_gb"`
+	SoftFaultFrac float64 `json:"soft_fault_frac"`
+	StolenGB      float64 `json:"stolen_gb"`
+	EvictedColdGB float64 `json:"evicted_cold_gb"`
+	Contentions   int     `json:"contentions"`
+	Trims         int     `json:"trims"`
+	Extends       int     `json:"extends"`
+	Migrations    int     `json:"migrations"`
 }
 
-// Stats snapshots admission counters, occupancy, batching effectiveness
-// and model-cache behaviour.
+// Stats is a point-in-time snapshot of the service.
+type Stats struct {
+	Policy    string         `json:"policy"`
+	Placed    int            `json:"placed"`
+	Clusters  []ClusterStats `json:"clusters"`
+	Batch     BatchStats     `json:"batch"`
+	Cache     CacheStats     `json:"cache"`
+	DataPlane DataPlaneStats `json:"data_plane"`
+}
+
+// Stats snapshots admission counters, occupancy, batching effectiveness,
+// model-cache behaviour and the data-plane aggregates.
 func (s *Service) Stats() Stats {
 	st := Stats{Policy: s.cfg.Policy.String(), Cache: s.cache.Stats()}
 	if s.batcher != nil {
 		st.Batch = s.batcher.stats()
 	}
+	if s.cfg.DataPlane {
+		st.DataPlane.Enabled = true
+		st.DataPlane.Policy = s.cfg.MitigationPolicy.String()
+		st.DataPlane.Mode = s.cfg.MitigationMode.String()
+		st.DataPlane.Ticks = s.dpTicks.Load()
+	}
+	var totals memsim.Totals
+	var counters core.AgentCounters
 	for ci, sh := range s.shards {
 		cs := ClusterStats{Cluster: ci, Name: s.fleet.Clusters[ci].Name, Servers: s.fleet.Clusters[ci].Servers}
 		sh.mu.Lock()
@@ -365,9 +511,30 @@ func (s *Service) Stats() Stats {
 			cs.Placed = sh.sched.Placed()
 			cs.UsedServers = sh.sched.UsedServers()
 		}
+		if sh.dp != nil {
+			st.DataPlane.AttachedVMs += sh.dp.Attached()
+			st.DataPlane.PoolGB += sh.dp.PoolGB()
+			st.DataPlane.PoolUsedGB += sh.dp.PoolUsedGB()
+			totals = totals.Add(sh.dp.Totals())
+			counters = counters.Add(sh.dp.Counters())
+		}
 		sh.mu.Unlock()
 		st.Placed += cs.Placed
 		st.Clusters = append(st.Clusters, cs)
+	}
+	if st.DataPlane.Enabled {
+		st.DataPlane.TrimmedGB = totals.TrimmedGB
+		st.DataPlane.ExtendedGB = totals.ExtendedGB
+		st.DataPlane.MigratedGB = totals.MigratedGB
+		st.DataPlane.HardFaultGB = totals.HardFaultGB
+		st.DataPlane.SoftFaultGB = totals.SoftFaultGB
+		st.DataPlane.SoftFaultFrac = totals.SoftFaultFrac()
+		st.DataPlane.StolenGB = totals.StolenGB
+		st.DataPlane.EvictedColdGB = totals.EvictedColdGB
+		st.DataPlane.Contentions = counters.Contentions
+		st.DataPlane.Trims = counters.Trims
+		st.DataPlane.Extends = counters.Extends
+		st.DataPlane.Migrations = counters.Migrations
 	}
 	return st
 }

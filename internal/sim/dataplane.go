@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"math"
+
+	"github.com/coach-oss/coach/internal/agent"
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/core"
+	"github.com/coach-oss/coach/internal/memsim"
+	"github.com/coach-oss/coach/internal/timeseries"
+)
+
+// dpTickSeconds is the data-plane tick length: one trace sample (5
+// simulated minutes). The agent's monitoring pass therefore runs once per
+// sample — the granularity the paper's cluster evaluation works at (§4.3
+// uses the 5-minute data).
+const dpTickSeconds = float64(timeseries.SampleMinutes) * 60
+
+// latencyBuckets sizes the access-latency histogram: 8 buckets per
+// doubling from latencyBase ns covers 50ns..~3ms, enough for the PA-hit
+// to hard-fault latency range with <9% bucket-width error.
+const (
+	latencyBuckets = 128
+	latencyBase    = 50.0
+)
+
+// latencyBucket maps a mean access latency to its histogram bucket.
+func latencyBucket(ns float64) int {
+	if ns <= latencyBase {
+		return 0
+	}
+	b := int(8 * math.Log2(ns/latencyBase))
+	if b >= latencyBuckets {
+		return latencyBuckets - 1
+	}
+	return b
+}
+
+// latencyOf returns the representative (lower-bound) latency of a bucket.
+func latencyOf(bucket int) float64 {
+	return latencyBase * math.Exp2(float64(bucket)/8)
+}
+
+// DataPlaneResult aggregates the fleet-wide memory data plane of one run:
+// mitigation volumes, paging volumes and the access-latency distribution
+// over every (VM, tick) sample. Shards accumulate one each and merge sums
+// them in shard order, so the merged result is byte-identical for any
+// worker count.
+type DataPlaneResult struct {
+	// Policy and Mode are the mitigation configuration under test.
+	Policy agent.Policy
+	Mode   agent.Mode
+	// Servers is the number of fleet servers running a data plane.
+	Servers int
+	// VMTicks counts (attached VM, 5-minute tick) samples.
+	VMTicks int
+	// Totals sums the servers' cumulative trim/extend/migrate/fault
+	// volumes.
+	Totals memsim.Totals
+	// Counters sums the agents' contention and mitigation counters.
+	Counters core.AgentCounters
+	// FirstTrimTick, FirstExtendTick and FirstMigrateTick are the
+	// evaluation-period ticks (0-based, -1 = never) at which the first
+	// trim / pool-extend / migration started — the observable order of
+	// the mitigation ladder.
+	FirstTrimTick    int
+	FirstExtendTick  int
+	FirstMigrateTick int
+	// LatencyHist is a log-scale histogram of per-VM-tick mean access
+	// latencies (8 buckets per doubling from 50ns). Histograms merge by
+	// integer addition, which is how percentiles stay deterministic
+	// across shard and worker counts.
+	LatencyHist [latencyBuckets]int64
+}
+
+func newDataPlaneResult(cfg Config) *DataPlaneResult {
+	return &DataPlaneResult{
+		Policy:           cfg.MitigationPolicy,
+		Mode:             cfg.MitigationMode,
+		FirstTrimTick:    -1,
+		FirstExtendTick:  -1,
+		FirstMigrateTick: -1,
+	}
+}
+
+// observe folds one tick's frames into the histogram and tick counters.
+func (d *DataPlaneResult) observe(frames []*memsim.TickFrame) {
+	for _, f := range frames {
+		for i := 0; i < f.Len(); i++ {
+			if f.Departed(i) {
+				continue
+			}
+			d.VMTicks++
+			d.LatencyHist[latencyBucket(f.At(i).MeanNs)]++
+		}
+	}
+}
+
+// mark records first-mitigation ticks from the counter deltas at
+// evaluation tick t.
+func (d *DataPlaneResult) mark(t int, c core.AgentCounters) {
+	if d.FirstTrimTick < 0 && c.Trims > d.Counters.Trims {
+		d.FirstTrimTick = t
+	}
+	if d.FirstExtendTick < 0 && c.Extends > d.Counters.Extends {
+		d.FirstExtendTick = t
+	}
+	if d.FirstMigrateTick < 0 && c.Migrations > d.Counters.Migrations {
+		d.FirstMigrateTick = t
+	}
+	d.Counters = c
+}
+
+// finish captures the end-of-run totals from the shard's data plane.
+func (d *DataPlaneResult) finish(dp *core.DataPlane) {
+	d.Servers = len(dp.Servers())
+	d.Totals = dp.Totals()
+	d.Counters = dp.Counters()
+}
+
+// merge folds o into d (shard order): sums, histogram addition, and the
+// earliest first-mitigation ticks.
+func (d *DataPlaneResult) merge(o *DataPlaneResult) {
+	d.Servers += o.Servers
+	d.VMTicks += o.VMTicks
+	d.Totals = d.Totals.Add(o.Totals)
+	d.Counters = d.Counters.Add(o.Counters)
+	d.FirstTrimTick = minTick(d.FirstTrimTick, o.FirstTrimTick)
+	d.FirstExtendTick = minTick(d.FirstExtendTick, o.FirstExtendTick)
+	d.FirstMigrateTick = minTick(d.FirstMigrateTick, o.FirstMigrateTick)
+	for i, n := range o.LatencyHist {
+		d.LatencyHist[i] += n
+	}
+}
+
+// minTick returns the earliest of two first-occurrence ticks, where -1
+// means never.
+func minTick(a, b int) int {
+	switch {
+	case a < 0:
+		return b
+	case b < 0 || a <= b:
+		return a
+	default:
+		return b
+	}
+}
+
+// SoftFaultFrac returns the share of faulted volume served by demand-zero
+// soft faults rather than backing-store reads.
+func (d *DataPlaneResult) SoftFaultFrac() float64 { return d.Totals.SoftFaultFrac() }
+
+// AccessP50Ns returns the median per-VM-tick mean access latency.
+func (d *DataPlaneResult) AccessP50Ns() float64 { return d.latencyPercentile(0.50) }
+
+// AccessP99Ns returns the 99th-percentile per-VM-tick mean access latency.
+func (d *DataPlaneResult) AccessP99Ns() float64 { return d.latencyPercentile(0.99) }
+
+// AccessMaxNs returns the highest observed per-VM-tick mean access
+// latency (bucket lower bound) — the worst tick any VM suffered, which
+// separates policies even when contention touches too few VM-ticks to
+// move the P99.
+func (d *DataPlaneResult) AccessMaxNs() float64 {
+	for i := latencyBuckets - 1; i >= 0; i-- {
+		if d.LatencyHist[i] > 0 {
+			return latencyOf(i)
+		}
+	}
+	return 0
+}
+
+func (d *DataPlaneResult) latencyPercentile(q float64) float64 {
+	var total int64
+	for _, n := range d.LatencyHist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range d.LatencyHist {
+		seen += n
+		if seen >= rank {
+			return latencyOf(i)
+		}
+	}
+	return latencyOf(latencyBuckets - 1)
+}
+
+// shardDataPlane bundles a shard's data plane with its result accumulator.
+type shardDataPlane struct {
+	dp  *core.DataPlane
+	res *DataPlaneResult
+}
+
+// newShardDataPlane builds the data plane over a shard's servers (dp nil
+// when the cluster has none; the accumulator still merges so the merged
+// Result always carries a DataPlaneResult when the config enables one).
+func newShardDataPlane(sh *shard, cfg Config) (*shardDataPlane, error) {
+	sdp := &shardDataPlane{res: newDataPlaneResult(cfg)}
+	if sh.sched == nil {
+		return sdp, nil
+	}
+	dpCfg := core.DefaultDataPlaneConfig()
+	dpCfg.Agent.Policy = cfg.MitigationPolicy
+	dpCfg.Agent.Mode = cfg.MitigationMode
+	if cfg.DataPlanePoolFrac > 0 {
+		dpCfg.PoolFrac = cfg.DataPlanePoolFrac
+	}
+	if cfg.DataPlaneUnallocFrac > 0 {
+		dpCfg.UnallocFrac = cfg.DataPlaneUnallocFrac
+	}
+	states := sh.sched.Servers()
+	servers := make([]*cluster.Server, len(states))
+	for i, st := range states {
+		servers[i] = st.Server
+	}
+	dp, err := core.NewDataPlane(dpCfg, servers)
+	if err != nil {
+		return nil, err
+	}
+	sdp.dp = dp
+	return sdp, nil
+}
+
+// tick advances the shard's data plane by one trace sample and folds the
+// resulting frames and counter deltas into the accumulator. t is the
+// 0-based evaluation tick.
+func (s *shardDataPlane) tick(t int) error {
+	if s.dp == nil {
+		return nil
+	}
+	frames, err := s.dp.Tick(dpTickSeconds)
+	if err != nil {
+		return err
+	}
+	s.res.observe(frames)
+	s.res.mark(t, s.dp.Counters())
+	return nil
+}
+
+// result finalizes and returns the shard's data-plane result.
+func (s *shardDataPlane) result() *DataPlaneResult {
+	if s.dp != nil {
+		s.res.finish(s.dp)
+	}
+	return s.res
+}

@@ -2,18 +2,20 @@ package sim
 
 import (
 	"sort"
-
-	"github.com/coach-oss/coach/internal/scheduler"
 )
 
 // merge folds per-shard results into one fleet-wide Result. It is fully
 // deterministic: counters are summed in shard order, the fleet's peak
 // occupied-server count is taken over the element-wise sum of the shards'
 // per-tick usage (per-shard peaks occur at different ticks and must not be
-// added), and outcomes are sorted by VMID. The output is therefore
-// byte-identical for any worker count.
-func merge(policy scheduler.PolicyKind, shardResults []*shardResult, ticks int) *Result {
-	res := &Result{Policy: policy}
+// added), outcomes are sorted by VMID, and the per-shard data-plane
+// aggregates (volumes, counters, latency histograms) are summed in shard
+// order too. The output is therefore byte-identical for any worker count.
+func merge(cfg Config, shardResults []*shardResult, ticks int) *Result {
+	res := &Result{Policy: cfg.Policy}
+	if cfg.DataPlane {
+		res.DataPlane = newDataPlaneResult(cfg)
+	}
 	usedByTick := make([]int, ticks)
 	for _, sr := range shardResults {
 		res.Requested += sr.requested
@@ -27,6 +29,9 @@ func merge(policy scheduler.PolicyKind, shardResults []*shardResult, ticks int) 
 			usedByTick[t] += u
 		}
 		res.Outcomes = append(res.Outcomes, sr.outcomes...)
+		if res.DataPlane != nil && sr.dataPlane != nil {
+			res.DataPlane.merge(sr.dataPlane)
+		}
 	}
 	for _, u := range usedByTick {
 		if u > res.UsedServers {

@@ -42,6 +42,9 @@ type shardResult struct {
 	// since per-shard peaks at different ticks must not be added.
 	usedByTick []int
 	outcomes   []VMOutcome
+	// dataPlane carries the shard's fleet-memory aggregates (nil when
+	// Config.DataPlane is off).
+	dataPlane *DataPlaneResult
 }
 
 // buildShards partitions the fleet into per-cluster shards and routes each
@@ -127,6 +130,14 @@ func (sh *shard) run(tr *trace.Trace, model *predict.LongTerm, cfg Config) (*sha
 	if sh.sched != nil {
 		servers = sh.sched.Servers()
 	}
+
+	var sdp *shardDataPlane
+	if cfg.DataPlane {
+		var err error
+		if sdp, err = newShardDataPlane(sh, cfg); err != nil {
+			return nil, err
+		}
+	}
 	demand := make([]resources.Vector, len(servers))
 	vmCount := make([]int, len(servers))
 	cpuLimit := make([]float64, len(servers))
@@ -149,6 +160,9 @@ func (sh *shard) run(tr *trace.Trace, model *predict.LongTerm, cfg Config) (*sha
 				p, ok := pos[ev.vm.ID]
 				if !ok {
 					continue // was rejected on arrival
+				}
+				if sdp != nil && sdp.dp != nil {
+					sdp.dp.Detach(ev.vm.ID)
 				}
 				r := recs[p]
 				demand[r.srv] = demand[r.srv].Sub(r.last)
@@ -193,6 +207,13 @@ func (sh *shard) run(tr *trace.Trace, model *predict.LongTerm, cfg Config) (*sha
 			vmCount[srv]++
 			pos[ev.vm.ID] = len(recs)
 			recs = append(recs, placedRec{vm: ev.vm, srv: srv})
+			if sdp != nil && sdp.dp != nil {
+				err := sdp.dp.Attach(srv, ev.vm.ID,
+					cvm.Alloc[resources.Memory], cvm.Guaranteed[resources.Memory])
+				if err != nil {
+					return nil, err
+				}
+			}
 			if ok && cfg.Policy != scheduler.PolicyNone {
 				sr.oversubscribed++
 				sr.outcomes = append(sr.outcomes, outcome(ev.vm, cvm, cfg))
@@ -200,7 +221,8 @@ func (sh *shard) run(tr *trace.Trace, model *predict.LongTerm, cfg Config) (*sha
 		}
 
 		// Delta pass: fold each placed VM's demand change into its
-		// server's running total.
+		// server's running total. The same change drives the VM's working
+		// set on the data plane, so WSS updates ride the delta fast path.
 		for i := range recs {
 			r := &recs[i]
 			if r.synced && utilUnchanged(r.vm, t) {
@@ -210,8 +232,17 @@ func (sh *shard) run(tr *trace.Trace, model *predict.LongTerm, cfg Config) (*sha
 			if cur != r.last {
 				demand[r.srv] = demand[r.srv].Add(cur.Sub(r.last))
 				r.last = cur
+				if sdp != nil && sdp.dp != nil {
+					sdp.dp.SetWSS(r.vm.ID, cur[resources.Memory])
+				}
 			}
 			r.synced = true
+		}
+
+		if sdp != nil {
+			if err := sdp.tick(t - cfg.TrainUpTo); err != nil {
+				return nil, err
+			}
 		}
 
 		sr.usedByTick[t-cfg.TrainUpTo] = used
@@ -229,6 +260,9 @@ func (sh *shard) run(tr *trace.Trace, model *predict.LongTerm, cfg Config) (*sha
 				sr.memViolations++
 			}
 		}
+	}
+	if sdp != nil {
+		sr.dataPlane = sdp.result()
 	}
 	return sr, nil
 }

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/coach-oss/coach/internal/agent"
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/coachvm"
 	"github.com/coach-oss/coach/internal/predict"
@@ -63,6 +64,24 @@ type Config struct {
 	// to TrainUpTo with matching Windows/Percentile). When nil, Run
 	// trains its own unless Policy is PolicyNone.
 	Model *predict.LongTerm
+	// DataPlane enables the per-server memory data plane: every fleet
+	// server runs a memsim server plus oversubscription agent, placed VMs'
+	// working sets follow their utilization samples, and each shard ticks
+	// its servers once per 5-minute sample inside the replay worker pool.
+	// Result.DataPlane then carries fleet-wide mitigation metrics, still
+	// byte-identical for any Workers value. See docs/DESIGN.md §9.
+	DataPlane bool
+	// MitigationPolicy and MitigationMode configure the per-server agents
+	// when DataPlane is set (§4.4: None/Trim/Extend/Migrate, reactive or
+	// proactive).
+	MitigationPolicy agent.Policy
+	MitigationMode   agent.Mode
+	// DataPlanePoolFrac and DataPlaneUnallocFrac override the per-server
+	// pool sizing (fractions of memory capacity; 0 = the
+	// core.DefaultDataPlaneConfig defaults). Experiments shrink the pool
+	// fraction to provoke the contention the mitigation ladder resolves.
+	DataPlanePoolFrac    float64
+	DataPlaneUnallocFrac float64
 }
 
 // DefaultConfig returns the Coach policy configuration.
@@ -122,6 +141,10 @@ type Result struct {
 	CPUViolations int
 	MemViolations int
 	Outcomes      []VMOutcome
+	// DataPlane aggregates the fleet-wide memory data plane (nil unless
+	// Config.DataPlane was set): mitigation and paging volumes, agent
+	// counters and the access-latency distribution.
+	DataPlane *DataPlaneResult
 }
 
 // CPUViolationFrac returns CPU-contended slots as a fraction of slots.
@@ -244,7 +267,7 @@ func Run(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	return merge(cfg.Policy, results, tr.Horizon-cfg.TrainUpTo), nil
+	return merge(cfg, results, tr.Horizon-cfg.TrainUpTo), nil
 }
 
 // outcome compares a CVM's guaranteed (percentile-based) allocation

@@ -152,7 +152,7 @@ func TestSelfSlowdownIsOne(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r.Record(st[1])
+		r.Record(st.Get(1))
 	}
 	if got := r.Slowdown(r); math.Abs(got-1) > 1e-9 {
 		t.Errorf("self slowdown = %v", got)
@@ -168,7 +168,7 @@ func TestFullyGuaranteedRunsAtBaseline(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		r.Step(1)
 		st, _ := srv.Tick(1)
-		r.Record(st[1])
+		r.Record(st.Get(1))
 	}
 	if got, want := r.MeanOpLatencyNs(), r.BaselineOpNs(); math.Abs(got-want) > 1e-6 {
 		t.Errorf("fully guaranteed op latency %v != baseline %v", got, want)
@@ -245,7 +245,7 @@ func TestChurnGeneratesFaults(t *testing.T) {
 			t.Fatal(err)
 		}
 		if i > 60 {
-			soft += st[1].PSoft
+			soft += st.Get(1).PSoft
 		}
 	}
 	if soft == 0 {
