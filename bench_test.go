@@ -99,6 +99,13 @@ func BenchmarkAblationForest(b *testing.B)          { benchExperiment(b, "abl-fo
 func BenchmarkAblationMonitor(b *testing.B)         { benchExperiment(b, "abl-monitor") }
 func BenchmarkAblationFleetMitigation(b *testing.B) { benchExperiment(b, "abl-fleetmit") }
 
+// BenchmarkFleetMigration regenerates the abl-fleetmig ladders
+// (no-migration vs same-shard vs cross-shard live migration, docs/
+// DESIGN.md §10), so bench-smoke compiles and runs the sample-boundary
+// exchange path on every push; before/after numbers for the unified
+// engine are recorded in BENCH_migration.json.
+func BenchmarkFleetMigration(b *testing.B) { benchExperiment(b, "abl-fleetmig") }
+
 // BenchmarkSimRunParallel measures the sharded cluster-simulation engine
 // (docs/DESIGN.md §6) at 1/2/4/8 workers on the small-scale trace. The
 // predictor is trained once outside the timed region so the benchmark

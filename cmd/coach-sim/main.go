@@ -12,6 +12,11 @@
 //	          [-train-workers 0]
 //	          [-data-plane] [-mitigation None|Trim|Extend|Migrate|all]
 //	          [-mitigation-mode Reactive|Proactive] [-dp-pool-frac 0.02]
+//	          [-cross-shard]
+//
+// -cross-shard lets completed live migrations escape their home cluster
+// shard through the simulator's sample-boundary exchange (docs/DESIGN.md
+// §10); results stay byte-identical for any -workers value.
 package main
 
 import (
@@ -41,6 +46,7 @@ func main() {
 	mitigation := flag.String("mitigation", "all", "mitigation policy: None, Trim, Extend, Migrate or all (requires -data-plane)")
 	mitigationMode := flag.String("mitigation-mode", "Reactive", "mitigation triggering: Reactive or Proactive")
 	dpPoolFrac := flag.Float64("dp-pool-frac", 0.02, "oversubscribed pool as a fraction of server memory; small values provoke the contention the mitigation ladder resolves")
+	crossShard := flag.Bool("cross-shard", false, "let completed live migrations land in other cluster shards via the sample-boundary exchange (requires -data-plane)")
 	flag.Parse()
 
 	s, err := experiments.ParseScale(*scale)
@@ -129,12 +135,16 @@ func main() {
 		}
 		cfg.Model = model
 	}
+	title := fmt.Sprintf("Fleet memory data plane (%s scheduler, %s triggering, pool %g%% of server memory",
+		p, mode, 100**dpPoolFrac)
+	if *crossShard {
+		title += ", cross-shard migration"
+	}
 	dpTable := &report.Table{
-		Title: fmt.Sprintf("Fleet memory data plane (%s scheduler, %s triggering, pool %g%% of server memory)",
-			p, mode, 100**dpPoolFrac),
+		Title: title + ")",
 		Headers: []string{"mitigation", "contentions", "trims", "extends", "migrations",
-			"trimmed GB", "extended GB", "migrated GB", "hard-fault GB", "soft-fault %",
-			"stolen GB", "P50 ns", "P99 ns", "max ns"},
+			"landed same/cross/failed", "trimmed GB", "extended GB", "migrated GB",
+			"hard-fault GB", "soft-fault %", "stolen GB", "P50 ns", "P99 ns", "max ns"},
 	}
 	for i, m := range mits {
 		cfg.DataPlane = true
@@ -142,6 +152,7 @@ func main() {
 		cfg.MitigationMode = mode
 		cfg.DataPlanePoolFrac = *dpPoolFrac
 		cfg.DataPlaneUnallocFrac = *dpPoolFrac
+		cfg.CrossShardMigration = *crossShard
 		res, err := sim.Run(tr, fleet, cfg)
 		if err != nil {
 			fatal(fmt.Errorf("%s/%s: %w", p, m, err))
@@ -153,6 +164,7 @@ func main() {
 		dp := res.DataPlane
 		dpTable.AddRow(m.String(), dp.Counters.Contentions, dp.Counters.Trims,
 			dp.Counters.Extends, dp.Counters.Migrations,
+			fmt.Sprintf("%d/%d/%d", dp.SameShardMigrations, dp.CrossShardMigrations, dp.FailedMigrations),
 			dp.Totals.TrimmedGB, dp.Totals.ExtendedGB, dp.Totals.MigratedGB,
 			dp.Totals.HardFaultGB, 100*dp.SoftFaultFrac(), dp.Totals.StolenGB,
 			dp.AccessP50Ns(), dp.AccessP99Ns(), dp.AccessMaxNs())

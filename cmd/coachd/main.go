@@ -12,6 +12,7 @@
 //	       [-train-workers N]
 //	       [-data-plane] [-mitigation None|Trim|Extend|Migrate]
 //	       [-mitigation-mode Reactive|Proactive] [-dp-interval 2s]
+//	       [-dp-pool-frac 0] [-cross-shard=true] [-admit-pressure 0]
 //
 // On start, coachd generates the trace for the chosen scale, trains the
 // long-term predictor on the first half (unless -lazy-train defers that
@@ -22,14 +23,22 @@
 // With -data-plane every fleet server runs the memory data plane (memsim
 // server + oversubscription agent): admitted VMs attach their memory, and
 // every -dp-interval of wall time the fleet advances by one simulated
-// 5-minute sample — working sets follow each VM's utilization series and
-// the agents trim/extend/migrate under pressure. GET /v1/stats reports
-// the fleet-wide aggregates (docs/api.md).
+// 5-minute sample — working sets follow each VM's utilization series
+// (until a client pushes live utilization via POST /v1/report) and the
+// agents trim/extend/migrate under pressure. Completed live migrations
+// resolve through the unified migration engine (docs/DESIGN.md §10):
+// scheduler bookkeeping and memory move together, and with -cross-shard
+// (the default) migrations that no home-cluster pool can absorb hand off
+// to other clusters through a two-phase reserve-then-commit protocol.
+// -admit-pressure > 0 additionally makes admission pressure-aware: an
+// oversubscribed VM is re-routed or rejected when the target pools are
+// thrashing. GET /v1/stats reports the fleet-wide aggregates
+// (docs/api.md).
 //
 // Endpoints (full schemas and curl examples in docs/api.md):
 //
 //	GET  /healthz     GET  /v1/stats
-//	POST /v1/predict  POST /v1/admit  POST /v1/release
+//	POST /v1/predict  POST /v1/admit  POST /v1/release  POST /v1/report
 package main
 
 import (
@@ -67,6 +76,9 @@ func main() {
 	mitigation := flag.String("mitigation", "Trim", "data-plane mitigation policy: None, Trim, Extend or Migrate")
 	mitigationMode := flag.String("mitigation-mode", "Reactive", "data-plane mitigation triggering: Reactive or Proactive")
 	dpInterval := flag.Duration("dp-interval", 2*time.Second, "wall-clock interval between data-plane ticks (each one simulated 5-minute sample)")
+	dpPoolFrac := flag.Float64("dp-pool-frac", 0, "oversubscribed pool as a fraction of server memory (0 = default 25%)")
+	crossShard := flag.Bool("cross-shard", true, "let completed live migrations hand off to other cluster shards (requires -data-plane)")
+	admitPressure := flag.Float64("admit-pressure", 0, "pressure-aware admission: reject or re-route oversubscribed VMs whose scheduled VA demand would push a pool past this occupancy (0 = off)")
 	flag.Parse()
 
 	opts := options{
@@ -75,6 +87,7 @@ func main() {
 		lazyTrain: *lazyTrain, trainWorkers: *trainWorkers,
 		dataPlane: *dataPlane, mitigation: *mitigation,
 		mitigationMode: *mitigationMode, dpInterval: *dpInterval,
+		dpPoolFrac: *dpPoolFrac, crossShard: *crossShard, admitPressure: *admitPressure,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "coachd:", err)
@@ -97,6 +110,9 @@ type options struct {
 	mitigation     string
 	mitigationMode string
 	dpInterval     time.Duration
+	dpPoolFrac     float64
+	crossShard     bool
+	admitPressure  float64
 }
 
 func run(o options) error {
@@ -118,6 +134,12 @@ func run(o options) error {
 
 	cfg := serve.DefaultConfig()
 	cfg.Policy = pk
+	if pk == scheduler.PolicyAggrCoach {
+		// Mirror sim.ConfigForPolicy: AggrCoach guarantees the P50, not
+		// the P95 — the aggressive split that actually exercises the
+		// oversubscribed pool.
+		cfg.Percentile = 50
+	}
 	cfg.Batch = serve.BatchConfig{Disabled: o.noBatch, MaxBatch: o.batchMax, MaxWait: o.batchWait}
 	cfg.LongTerm.Forest.Workers = o.trainWorkers
 	if o.dataPlane {
@@ -131,6 +153,10 @@ func run(o options) error {
 		if o.dpInterval <= 0 {
 			return fmt.Errorf("non-positive -dp-interval %s", o.dpInterval)
 		}
+		cfg.DataPlanePoolFrac = o.dpPoolFrac
+		cfg.DataPlaneUnallocFrac = o.dpPoolFrac
+		cfg.CrossShardMigration = o.crossShard
+		cfg.AdmitPressureFrac = o.admitPressure
 	}
 	svc, err := serve.New(tr, fleet, cfg)
 	if err != nil {
@@ -203,6 +229,10 @@ func run(o options) error {
 			st.DataPlane.Extends, st.DataPlane.ExtendedGB,
 			st.DataPlane.Migrations, st.DataPlane.MigratedGB,
 			st.DataPlane.HardFaultGB, st.DataPlane.SoftFaultGB, st.DataPlane.StolenGB)
+		log.Printf("migration engine: landed same-shard=%d cross-shard=%d failed=%d, warm-arrived %.1f GB, pressure-rejected admissions=%d",
+			st.DataPlane.SameShardMigrations, st.DataPlane.CrossShardMigrations,
+			st.DataPlane.FailedMigrations, st.DataPlane.WarmArrivedGB,
+			st.DataPlane.PressureRejected)
 	}
 	return nil
 }

@@ -157,6 +157,19 @@ type (
 	MitigationPolicy = agent.Policy
 	// MitigationMode selects Reactive or Proactive.
 	MitigationMode = agent.Mode
+	// MigrationConfig parameterizes the unified live-migration engine
+	// (docs/DESIGN.md §10): the pre-copy dirty fraction that
+	// demand-faults at the target, the projected pool occupancy above
+	// which a server is not a migration target, and whether migrations
+	// may land cross-shard. The simulator and coachd expose its knobs as
+	// MigrationDirtyFrac / MigrationPressureFrac / CrossShardMigration
+	// on their configs.
+	MigrationConfig = core.MigrationConfig
+	// MigrationPlan records one landed migration: source and destination
+	// servers (capacity bookkeeping and memory move together), the
+	// pre-copied volume that arrived resident, and whether the VM
+	// re-landed on its source because nothing could take it.
+	MigrationPlan = core.MigrationPlan
 )
 
 // Mitigation policy and mode constants (§3.4, §4.4).
@@ -174,6 +187,11 @@ const (
 func DefaultServerConfig(poolGB, unallocGB float64) ServerConfig {
 	return core.DefaultServerConfig(poolGB, unallocGB)
 }
+
+// DefaultMigrationConfig returns the migration engine defaults: a 20%
+// pre-copy dirty fraction and a 75% projected-occupancy pressure bar,
+// same-shard only.
+func DefaultMigrationConfig() MigrationConfig { return core.DefaultMigrationConfig() }
 
 // NewServer builds a single oversubscribed server.
 func NewServer(cfg ServerConfig) (*Server, error) { return core.NewServerManager(cfg) }
@@ -210,7 +228,9 @@ type (
 	// (0 = GOMAXPROCS); the Result is identical for any value. Setting
 	// DataPlane runs the per-server memory data plane (memsim +
 	// oversubscription agent) during replay under MitigationPolicy /
-	// MitigationMode.
+	// MitigationMode; CrossShardMigration additionally lets completed
+	// live migrations re-home across cluster shards through the
+	// deterministic sample-boundary exchange (docs/DESIGN.md §10).
 	SimConfig = sim.Config
 	// SimResult summarizes capacity and violations; its DataPlane field
 	// (non-nil when SimConfig.DataPlane is set) aggregates fleet-wide

@@ -10,6 +10,13 @@
 // (paging storms); the agent instead trims known-cold memory first and
 // escalates to extending the pool or live-migrating the heaviest VM.
 //
+// A fifth ladder, Migrate+CrossShard, lets completed live migrations
+// escape their home cluster through the simulator's sample-boundary
+// exchange: the unified migration engine (docs/DESIGN.md §10) moves the
+// scheduler's capacity bookkeeping and the VM's memory together, lands
+// pre-copied pages resident, and only targets pools that can absorb the
+// incoming working set.
+//
 // This is the paper's Fig. 21 storyline at fleet scale. For the original
 // three-VM single-server storyline, run the fig21 experiment:
 //
@@ -32,7 +39,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fleet := coach.NewFleet(coach.DefaultClusters(1))
+	// Ten single-server clusters, with C1's server swapped for a
+	// memory-rich configuration: its oversubscribed pool (2% of server
+	// memory, like every other pool) is the only one in the fleet large
+	// enough to absorb a migrated working set, so it is where the
+	// cross-shard exchange can land escapes.
+	clusters := coach.DefaultClusters(1)
+	clusters[0].Spec.Capacity[coach.Memory] = 4096
+	clusters[0].Spec.Capacity[coach.CPU] = 320
+	fleet := coach.NewFleet(clusters)
 
 	// The mitigation policy never affects prediction: train the model once
 	// through the platform and share it across the four runs.
@@ -47,29 +62,42 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("policy   contentions  trims  extends  migrations  trimmed-GB  extended-GB  migrated-GB  hard-fault-GB  stolen-GB")
-	for _, policy := range []coach.MitigationPolicy{
-		coach.MitigateNone, coach.MitigateTrim, coach.MitigateExtend, coach.MitigateMigrate,
-	} {
+	ladders := []struct {
+		name       string
+		policy     coach.MitigationPolicy
+		crossShard bool
+	}{
+		{"None", coach.MitigateNone, false},
+		{"Trim", coach.MitigateTrim, false},
+		{"Extend", coach.MitigateExtend, false},
+		{"Migrate", coach.MitigateMigrate, false},
+		{"Migrate+CrossShard", coach.MitigateMigrate, true},
+	}
+	fmt.Println("ladder              contentions  trims  extends  migrations  landed(s/x/f)  trimmed-GB  extended-GB  migrated-GB  hard-fault-GB  stolen-GB")
+	for _, l := range ladders {
 		cfg := coach.SimConfigForPolicy(coach.PolicyAggrCoach)
 		cfg.TrainUpTo = tr.Horizon / 2
 		cfg.Model = platform.Model()
 		cfg.DataPlane = true
-		cfg.MitigationPolicy = policy
+		cfg.MitigationPolicy = l.policy
 		cfg.MitigationMode = coach.Reactive
 		cfg.DataPlanePoolFrac = 0.02
 		cfg.DataPlaneUnallocFrac = 0.02
+		cfg.CrossShardMigration = l.crossShard
 		res, err := coach.Simulate(tr, fleet, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		dp := res.DataPlane
-		fmt.Printf("%-8s %11d  %5d  %7d  %10d  %10.1f  %11.1f  %11.1f  %13.1f  %9.1f\n",
-			policy, dp.Counters.Contentions, dp.Counters.Trims, dp.Counters.Extends,
-			dp.Counters.Migrations, dp.Totals.TrimmedGB, dp.Totals.ExtendedGB,
+		fmt.Printf("%-18s %12d  %5d  %7d  %10d  %6d/%d/%d      %10.1f  %11.1f  %11.1f  %13.1f  %9.1f\n",
+			l.name, dp.Counters.Contentions, dp.Counters.Trims, dp.Counters.Extends,
+			dp.Counters.Migrations, dp.SameShardMigrations, dp.CrossShardMigrations,
+			dp.FailedMigrations, dp.Totals.TrimmedGB, dp.Totals.ExtendedGB,
 			dp.Totals.MigratedGB, dp.Totals.HardFaultGB, dp.Totals.StolenGB)
 	}
 	fmt.Println("\nNone pays for pool exhaustion with stolen working-set memory (paging")
 	fmt.Println("storms); Trim converts blind evictions into targeted cold-page trims;")
-	fmt.Println("Extend and Migrate additionally resolve deficits trimming cannot cover.")
+	fmt.Println("Extend and Migrate additionally resolve deficits trimming cannot cover;")
+	fmt.Println("cross-shard migration (landed s/x/f = same-shard/cross-shard/failed)")
+	fmt.Println("re-homes VMs onto clusters whose pools can actually absorb them.")
 }

@@ -71,20 +71,36 @@ type attachment struct {
 	wss    float64
 }
 
+// CompletedMigration reports one VM whose live migration finished during
+// a Tick: its memory has left the source server and awaits a landing
+// decision. The MigrationEngine resolves it — re-placing the VM through
+// the scheduler's placement policy and re-attaching its memory warm —
+// same-shard, or cross-shard via a MigrationRequest.
+type CompletedMigration struct {
+	VMID int
+	// Server is the source server index the memory departed from.
+	Server int
+	// SizeGB and PAGB reproduce the VM's memory shape at the target.
+	SizeGB float64
+	PAGB   float64
+	// WSS is the working set the VM carried when the migration completed.
+	WSS float64
+}
+
 // DataPlane manages the memory data planes of one shard's servers:
 // attachment and detachment of VM memory, per-tick working-set updates,
-// and re-homing of completed live migrations. All operations are
-// deterministic — iteration follows the server slice and ascending VM
-// ids — so replays produce bit-identical results for any worker count.
-// It is not safe for concurrent use; callers (one simulator shard, one
-// serve shard under its lock) serialize access.
+// and surfacing of completed live migrations for the migration engine to
+// land. All operations are deterministic — iteration follows the server
+// slice and ascending VM ids — so replays produce bit-identical results
+// for any worker count. It is not safe for concurrent use; callers (one
+// simulator shard, one serve shard under its lock) serialize access.
 type DataPlane struct {
 	cfg     DataPlaneConfig
 	servers []*ServerManager
 	frames  []*memsim.TickFrame // last Tick's frames, parallel to servers
 	vms     map[int]*attachment
 
-	migrated []int // Tick scratch: ids re-homed by completed migrations
+	completed []CompletedMigration // Tick scratch, reused across ticks
 }
 
 // NewDataPlane builds one ServerManager per fleet server, sizing pools
@@ -124,10 +140,11 @@ func (d *DataPlane) Servers() []*ServerManager { return d.servers }
 // Attached returns the number of VMs currently attached.
 func (d *DataPlane) Attached() int { return len(d.vms) }
 
-// ServerOf returns the index of the server hosting id's memory, or -1.
-// After a completed live migration this can differ from the scheduler's
-// placement: the data plane re-homes memory within the shard while the
-// capacity bookkeeping stays put (see docs/DESIGN.md §9).
+// ServerOf returns the index of the server hosting id's memory, or -1 —
+// including for a VM whose live migration completed but has not been
+// landed by the migration engine yet (its memory is in flight). Once
+// landed, memory and scheduler placement agree by construction
+// (docs/DESIGN.md §10).
 func (d *DataPlane) ServerOf(id int) int {
 	if att, ok := d.vms[id]; ok {
 		return att.server
@@ -183,15 +200,19 @@ func (d *DataPlane) SetWSS(id int, wss float64) {
 }
 
 // Tick advances every server by dt seconds (hypervisor paging plus agent
-// pass) and re-homes VMs whose live migrations completed. It returns one
-// stats frame per server, parallel to Servers(); frames are owned by the
-// servers and overwritten on the next Tick.
-func (d *DataPlane) Tick(dt float64) ([]*memsim.TickFrame, error) {
-	d.migrated = d.migrated[:0]
+// pass). It returns one stats frame per server, parallel to Servers(),
+// plus the VMs whose live migrations completed mid-tick: their memory has
+// left its source server and they are detached until the caller lands
+// them (MigrationEngine.Resolve same-shard, or a cross-shard apply step).
+// Frames and the completed slice are owned by the DataPlane and
+// overwritten on the next Tick. The completed order is deterministic:
+// ascending server index, then ascending VM id within a server.
+func (d *DataPlane) Tick(dt float64) ([]*memsim.TickFrame, []CompletedMigration, error) {
+	d.completed = d.completed[:0]
 	for i, sm := range d.servers {
 		f, err := sm.Tick(dt)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		d.frames[i] = f
 		for j := 0; j < f.Len(); j++ {
@@ -199,46 +220,71 @@ func (d *DataPlane) Tick(dt float64) ([]*memsim.TickFrame, error) {
 				continue
 			}
 			id := f.ID(j)
-			if att, ok := d.vms[id]; ok && att.server == i {
-				d.migrated = append(d.migrated, id)
+			att, ok := d.vms[id]
+			if !ok || att.server != i {
+				continue // detached mid-tick (VM ended)
 			}
+			d.completed = append(d.completed, CompletedMigration{
+				VMID:   id,
+				Server: i,
+				SizeGB: att.sizeGB,
+				PAGB:   att.paGB,
+				WSS:    att.wss,
+			})
+			delete(d.vms, id)
 		}
 	}
-	for _, id := range d.migrated {
-		if err := d.rehome(id); err != nil {
-			return nil, err
-		}
-	}
-	return d.frames, nil
+	return d.frames, d.completed, nil
 }
 
-// rehome lands a migrated VM's memory on the shard server with the most
-// free pool (ties break on the lowest index, so the choice is
-// deterministic), preferring a server other than the source. The memory
-// arrives cold: the working set demand-faults back in at the target — the
-// post-migration warmup live migration pays in practice. With a
-// single-server shard the VM re-lands on the same host.
-func (d *DataPlane) rehome(id int) error {
-	att := d.vms[id]
-	target, bestFree := -1, -1.0
-	for i, sm := range d.servers {
-		if i == att.server && len(d.servers) > 1 {
-			continue
-		}
-		if free := sm.Server.PoolFree(); free > bestFree {
-			target, bestFree = i, free
-		}
+// AttachMigrated lands a migrated VM's memory on server: the VM's memory
+// shape is rebuilt, its working set restored, and the pre-copied share of
+// its pending demand — everything but dirtyFrac, the fraction touched
+// after the final pre-copy pass — arrives resident without fault cost
+// (memsim.Server.AdmitWarm). The dirty remainder demand-faults at the
+// target like any cold page. Returns the GB that arrived warm.
+func (d *DataPlane) AttachMigrated(server, id int, sizeGB, paGB, wss, dirtyFrac float64) (warmGB float64, err error) {
+	if dirtyFrac < 0 {
+		dirtyFrac = 0
 	}
-	vm, err := memsim.NewVMMem(id, att.sizeGB, att.paGB)
-	if err != nil {
-		return err
+	if dirtyFrac > 1 {
+		dirtyFrac = 1
 	}
-	if err := d.servers[target].Server.AddVM(vm); err != nil {
-		return err
+	if err := d.Attach(server, id, sizeGB, paGB); err != nil {
+		return 0, err
 	}
-	att.server = target
-	vm.SetWSS(att.wss)
-	return nil
+	d.SetWSS(id, wss)
+	srv := d.servers[server].Server
+	if vm := srv.VM(id); vm != nil {
+		warmGB = srv.AdmitWarm(id, (1-dirtyFrac)*vm.Missing())
+	}
+	return warmGB, nil
+}
+
+// PressureOf returns server's pool occupancy (used fraction, 1 when the
+// server has no pool) — the signal migration targeting and pressure-aware
+// admission filter candidates on.
+func (d *DataPlane) PressureOf(server int) float64 {
+	return d.ProjectedPressure(server, 0)
+}
+
+// ProjectedPressure returns server's pool occupancy after absorbing
+// incomingGB of additional resident demand — what the pool would look
+// like once a migrated-in working set (or a newly admitted VM's
+// spillover) lands. Filtering candidates on the projection instead of
+// the current occupancy keeps migrations from dumping a large working
+// set onto a pool too small to hold it, which would just move the
+// thrashing. Returns 1 when the server has no pool.
+func (d *DataPlane) ProjectedPressure(server int, incomingGB float64) float64 {
+	srv := d.servers[server].Server
+	pool := srv.PoolGB()
+	if pool <= 0 {
+		return 1
+	}
+	if incomingGB < 0 {
+		incomingGB = 0
+	}
+	return (srv.PoolUsed() + incomingGB) / pool
 }
 
 // Totals sums the servers' cumulative data-plane volumes in server order.

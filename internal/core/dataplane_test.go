@@ -63,7 +63,7 @@ func TestDataPlaneAttachDetach(t *testing.T) {
 		t.Error("attachment bookkeeping wrong")
 	}
 	dp.SetWSS(1, 5)
-	frames, err := dp.Tick(1)
+	frames, _, err := dp.Tick(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,10 +78,12 @@ func TestDataPlaneAttachDetach(t *testing.T) {
 	}
 }
 
-// TestDataPlaneMigrationRehomes drives one server into contention under
-// the Migrate policy and checks that the victim's memory lands on the
-// other (emptier) server deterministically.
-func TestDataPlaneMigrationRehomes(t *testing.T) {
+// TestDataPlaneTickSurfacesCompletedMigrations drives one server into
+// contention under the Migrate policy and checks that Tick detaches the
+// victim and surfaces it as a CompletedMigration carrying its memory
+// shape and working set (the engine's input), rather than re-homing it
+// internally.
+func TestDataPlaneTickSurfacesCompletedMigrations(t *testing.T) {
 	// Pool 4GB per server (64 * 0.0625), no unallocated memory.
 	dp := dpFixture(t, 2, agent.PolicyMigrate, 0.0625, 0)
 	for id := 1; id <= 3; id++ {
@@ -89,35 +91,35 @@ func TestDataPlaneMigrationRehomes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	moved := -1
-	for tick := 0; tick < 600 && moved < 0; tick++ {
+	var got []CompletedMigration
+	for tick := 0; tick < 600 && len(got) == 0; tick++ {
 		for id := 1; id <= 3; id++ {
 			dp.SetWSS(id, 4) // 3GB VA demand each: 9GB against a 4GB pool
 		}
-		if _, err := dp.Tick(1); err != nil {
+		_, completed, err := dp.Tick(1)
+		if err != nil {
 			t.Fatal(err)
 		}
-		for id := 1; id <= 3; id++ {
-			if dp.ServerOf(id) == 1 {
-				moved = id
-			}
-		}
+		got = append(got, completed...)
 	}
-	if moved < 0 {
-		t.Fatal("no VM was migrated off the contended server")
+	if len(got) == 0 {
+		t.Fatal("no migration completed on the contended server")
+	}
+	cm := got[0]
+	if cm.Server != 0 || cm.SizeGB != 16 || cm.PAGB != 1 || cm.WSS != 4 {
+		t.Errorf("completed migration carries wrong shape: %+v", cm)
+	}
+	if dp.ServerOf(cm.VMID) != -1 {
+		t.Error("completed migration must detach the VM until the engine lands it")
+	}
+	if dp.Servers()[0].Server.VM(cm.VMID) != nil {
+		t.Error("migrated VM still on the source server")
 	}
 	if dp.Counters().Migrations == 0 {
 		t.Error("migration not counted")
 	}
 	if dp.Totals().MigratedGB <= 0 {
 		t.Error("migrated volume not accounted")
-	}
-	vm := dp.Servers()[1].Server.VM(moved)
-	if vm == nil {
-		t.Fatal("re-homed VM missing from target server")
-	}
-	if vm.WSS() != 4 {
-		t.Errorf("re-homed VM working set %v, want 4", vm.WSS())
 	}
 }
 
@@ -151,7 +153,7 @@ func TestDataPlaneLadderOrdering(t *testing.T) {
 					dp.SetWSS(grower, 14) // 12GB VA demand against 8GB pool
 				}
 			}
-			if _, err := dp.Tick(1); err != nil {
+			if _, _, err := dp.Tick(1); err != nil {
 				t.Fatal(err)
 			}
 			c := dp.Counters()
@@ -201,7 +203,7 @@ func TestDataPlaneDeterministic(t *testing.T) {
 					dp.SetWSS(10*srv+i+1, 4+3*float64((tick+17*i)%50)/10)
 				}
 			}
-			if _, err := dp.Tick(1); err != nil {
+			if _, _, err := dp.Tick(1); err != nil {
 				t.Fatal(err)
 			}
 		}

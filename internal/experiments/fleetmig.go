@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/coach-oss/coach/internal/agent"
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/report"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/scheduler"
+	"github.com/coach-oss/coach/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "abl-fleetmig",
+		Title: "Ablation: fleet migration ladders — no-migration vs same-shard vs cross-shard",
+		PaperClaim: "Live migration is the mitigation ladder's escape valve for pool " +
+			"thrashing, but it only relieves pressure fleet-wide when a completed " +
+			"migration moves the scheduler's capacity bookkeeping together with the " +
+			"memory and may cross cluster boundaries: same-shard migration bounces " +
+			"VMs between equally-pressured pools (failed landings, repeated pre-copy " +
+			"volume), while the cross-shard exchange lands them on pools that can " +
+			"absorb their working sets — fewer stolen working-set GB and a shorter " +
+			"hard-fault tail at equal pool pressure",
+		Run: runFleetMigrationLadders,
+	})
+}
+
+// fleetMigLadder is one row of the ablation.
+type fleetMigLadder struct {
+	name       string
+	mitigation agent.Policy
+	crossShard bool
+}
+
+// fleetMigLadders sweeps how completed migrations may land: not at all
+// (the Trim ladder), within the home cluster shard only, or fleet-wide
+// through the sample-boundary exchange.
+func fleetMigLadders() []fleetMigLadder {
+	return []fleetMigLadder{
+		{name: "NoMigration", mitigation: agent.PolicyTrim},
+		{name: "SameShard", mitigation: agent.PolicyMigrate},
+		{name: "CrossShard", mitigation: agent.PolicyMigrate, crossShard: true},
+	}
+}
+
+// The ablation reuses abl-fleetmit's pressure recipe — AggrCoach P50
+// guaranteed portions with the oversubscribed pool shrunk to 2% of
+// server memory — over two fleets:
+//
+//   - The capacity fleet at 1.1x peak demand. Migration needs
+//     schedulable headroom somewhere: at abl-fleetmit's 0.55x the
+//     packed fleet leaves no feasible target server anywhere, every
+//     completed migration re-lands on its contended source, and the
+//     ladders collapse onto each other. 1.1x keeps the same per-server
+//     pool pressure (pools are a fraction of server memory, not of
+//     slack) while letting the valve actually open.
+//   - A skewed hot/cold fleet — one small-memory cluster whose tenants
+//     overwhelm its pool beside a memory-rich cluster with pool room to
+//     spare (the Fig. 5 stranding skew pushed to its extreme).
+//     Same-shard migration can only re-land VMs inside the hot cluster;
+//     the exchange is the only route to the absorbing pools.
+func runFleetMigrationLadders(c *Context) ([]*report.Table, error) {
+	tr, err := c.Trace()
+	if err != nil {
+		return nil, err
+	}
+	base := sim.ConfigForPolicy(scheduler.PolicyAggrCoach)
+	model, err := c.Model(base.Percentile)
+	if err != nil {
+		return nil, err
+	}
+
+	capacityFleet, err := c.CapacityFleet(1.1)
+	if err != nil {
+		return nil, err
+	}
+	skewed := cluster.NewFleet([]cluster.Config{
+		{Name: "hot", Spec: cluster.ServerSpec{Name: "small", Generation: 1,
+			Capacity: resources.NewVector(64, 128, 40, 4096)}, Servers: 1},
+		{Name: "cold", Spec: cluster.ServerSpec{Name: "big", Generation: 4,
+			Capacity: resources.NewVector(320, 4096, 100, 16384)}, Servers: 4},
+	})
+
+	var tables []*report.Table
+	for _, sc := range []struct {
+		title string
+		fleet *cluster.Fleet
+	}{
+		{"Fleet migration ladders — capacity fleet at 1.1x peak demand (AggrCoach, 2% pools)", capacityFleet},
+		{"Fleet migration ladders — skewed hot/cold fleet (AggrCoach, 2% pools)", skewed},
+	} {
+		t := &report.Table{
+			Title: sc.title,
+			Headers: []string{"ladder", "migrations", "same-shard", "cross-shard", "failed",
+				"migrated GB", "warm GB", "stolen GB", "hard-fault GB", "P99 ns", "max ns"},
+			Note: "same/cross-shard count landed migrations; failed ones re-land on their " +
+				"contended source. Warm GB is pre-copied volume arriving resident at targets.",
+		}
+		for _, l := range fleetMigLadders() {
+			cfg := base
+			cfg.TrainUpTo = trainUpTo(tr)
+			cfg.Model = model
+			cfg.DataPlane = true
+			cfg.MitigationPolicy = l.mitigation
+			cfg.MitigationMode = agent.Reactive
+			cfg.DataPlanePoolFrac = 0.02
+			cfg.DataPlaneUnallocFrac = 0.02
+			cfg.CrossShardMigration = l.crossShard
+			res, err := sim.Run(tr, sc.fleet, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("abl-fleetmig %s: %w", l.name, err)
+			}
+			dp := res.DataPlane
+			if dp == nil {
+				return nil, fmt.Errorf("abl-fleetmig %s: no data-plane result", l.name)
+			}
+			t.AddRow(l.name, dp.Counters.Migrations, dp.SameShardMigrations,
+				dp.CrossShardMigrations, dp.FailedMigrations,
+				dp.Totals.MigratedGB, dp.WarmArrivedGB, dp.Totals.StolenGB,
+				dp.Totals.HardFaultGB, dp.AccessP99Ns(), dp.AccessMaxNs())
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -249,6 +249,73 @@ func TestServerAddRemoveVM(t *testing.T) {
 	}
 }
 
+// TestAdmitWarmVsColdArrival pins the resident-arrival accounting a
+// completed live migration relies on: warm-admitted pages become
+// resident immediately, consume pool frames, and charge no fault volume
+// — while an identical cold arrival pays for every page through the
+// fault path (soft faults here, since the pages were never trimmed).
+func TestAdmitWarmVsColdArrival(t *testing.T) {
+	build := func() (*Server, *VMMem) {
+		s := NewServer(DefaultConfig(), 10, 0)
+		vm := mustVM(t, 1, 12, 2)
+		if err := s.AddVM(vm); err != nil {
+			t.Fatal(err)
+		}
+		vm.SetWSS(8) // 6GB VA demand against a 10GB pool
+		return s, vm
+	}
+
+	warmSrv, warmVM := build()
+	if got := warmSrv.AdmitWarm(1, 4); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("AdmitWarm admitted %v GB, want 4", got)
+	}
+	if warmSrv.AdmitWarm(2, 1) != 0 || warmSrv.AdmitWarm(1, 0) != 0 {
+		t.Error("AdmitWarm of absent VM or zero volume must admit nothing")
+	}
+	if got := warmVM.ResidentVA(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("warm VM resident %v GB, want 4", got)
+	}
+	if got := warmSrv.PoolUsed(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("pool used %v GB after warm arrival, want 4", got)
+	}
+	if tot := warmSrv.Totals(); tot.HardFaultGB != 0 || tot.SoftFaultGB != 0 {
+		t.Errorf("warm arrival charged fault volume: %+v", tot)
+	}
+
+	coldSrv, _ := build()
+	for i := 0; i < 10; i++ {
+		if _, err := coldSrv.Tick(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := warmSrv.Tick(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coldTot, warmTot := coldSrv.Totals(), warmSrv.Totals()
+	if coldTot.FaultGB() < 6-1e-6 {
+		t.Errorf("cold arrival faulted %v GB, want the full 6", coldTot.FaultGB())
+	}
+	// The warm VM only demand-faults the remainder its pre-copy missed.
+	if want := 2.0; math.Abs(warmTot.FaultGB()-want) > 1e-6 {
+		t.Errorf("warm arrival faulted %v GB, want %v", warmTot.FaultGB(), want)
+	}
+	// Both end fully resident; only the fault bill differs.
+	if cr, wr := coldSrv.PoolUsed(), warmSrv.PoolUsed(); math.Abs(cr-wr) > 1e-6 {
+		t.Errorf("steady-state residency differs: cold %v vs warm %v", cr, wr)
+	}
+
+	// Warm admission is clamped by free pool frames.
+	tight := NewServer(DefaultConfig(), 3, 0)
+	tvm := mustVM(t, 7, 12, 2)
+	if err := tight.AddVM(tvm); err != nil {
+		t.Fatal(err)
+	}
+	tvm.SetWSS(8)
+	if got := tight.AdmitWarm(7, 6); math.Abs(got-3) > 1e-9 {
+		t.Errorf("AdmitWarm past the pool admitted %v GB, want 3", got)
+	}
+}
+
 func TestServerTickValidation(t *testing.T) {
 	s := NewServer(DefaultConfig(), 10, 0)
 	if _, err := s.Tick(0); err == nil {

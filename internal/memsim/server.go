@@ -299,6 +299,28 @@ func (s *Server) RemoveVM(id int) bool {
 // VM returns the memory state of a VM (nil when absent).
 func (s *Server) VM(id int) *VMMem { return s.vms[id] }
 
+// AdmitWarm makes up to gb of the VM's pending working-set demand
+// resident immediately, clamped to free pool frames, without fault
+// accounting: the pages arrived with a live migration's pre-copy stream,
+// so their transfer cost was already charged as MigratedGB at the source
+// and the target pays neither fault bandwidth nor fault latency for
+// them. Returns the GB made resident. The un-admitted remainder (dirtied
+// after the final pre-copy pass, or beyond the free pool) demand-faults
+// like any cold arrival.
+func (s *Server) AdmitWarm(id int, gb float64) float64 {
+	vm, ok := s.vms[id]
+	if !ok || gb <= 0 {
+		return 0
+	}
+	free := s.poolGB - s.residentGB
+	if free <= 0 {
+		return 0
+	}
+	admitted, _ := vm.admit(min2(gb, free))
+	s.residentGB += admitted
+	return admitted
+}
+
 // VMs returns the ids of resident VMs in deterministic order.
 func (s *Server) VMs() []int {
 	out := make([]int, len(s.order))

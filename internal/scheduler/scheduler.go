@@ -1,12 +1,27 @@
 package scheduler
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/coachvm"
 	"github.com/coach-oss/coach/internal/resources"
 	"github.com/coach-oss/coach/internal/timeseries"
+)
+
+// Typed migration failures: callers route on the distinction — an
+// unknown VM is a caller bug or a lost race (drop), while missing
+// capacity is an operational condition (re-route to another shard, retry
+// later, or leave the VM in place).
+var (
+	// ErrUnknownVM reports a migration of a VM the scheduler never
+	// placed (or already removed).
+	ErrUnknownVM = errors.New("scheduler: unknown vm")
+	// ErrNoCapacity reports that no feasible server could take the VM;
+	// its placement is unchanged.
+	ErrNoCapacity = errors.New("scheduler: no server has capacity")
 )
 
 // ServerState pairs a fleet server with its oversubscription bookkeeping.
@@ -101,12 +116,74 @@ func (s *Scheduler) PlaceExcluding(vm *coachvm.CVM, exclude int) (serverIdx int,
 	if best < 0 {
 		return -1, false
 	}
-	if err := s.servers[best].Pool.Add(vm); err != nil {
-		// Fits was checked above; failure here indicates a bookkeeping bug.
+	s.addAt(vm, best)
+	return best, true
+}
+
+// PlaceAt assigns vm to an explicit server, bypassing the best-fit
+// preference but not the feasibility check. The migration engine uses it
+// to commit a destination chosen from a Candidates ranking (possibly in
+// another shard's scheduler); serve uses it for pressure-aware admission.
+func (s *Scheduler) PlaceAt(vm *coachvm.CVM, server int) error {
+	if server < 0 || server >= len(s.servers) {
+		return fmt.Errorf("scheduler: server %d outside [0,%d)", server, len(s.servers))
+	}
+	if _, dup := s.placement[vm.ID]; dup {
+		return fmt.Errorf("scheduler: vm %d already placed", vm.ID)
+	}
+	if !s.servers[server].Pool.Fits(vm) {
+		return fmt.Errorf("%w: vm %d on server %d", ErrNoCapacity, vm.ID, server)
+	}
+	s.addAt(vm, server)
+	return nil
+}
+
+// addAt commits a feasibility-checked placement.
+func (s *Scheduler) addAt(vm *coachvm.CVM, server int) {
+	if err := s.servers[server].Pool.Add(vm); err != nil {
+		// Fits was checked by the caller; failure here is a bookkeeping bug.
 		panic(fmt.Sprintf("scheduler: place on feasible server failed: %v", err))
 	}
-	s.placement[vm.ID] = best
-	return best, true
+	s.placement[vm.ID] = server
+}
+
+// Candidate is one feasible placement target with its best-fit score.
+type Candidate struct {
+	Server int
+	// Score is the post-placement packed fraction (higher = fuller =
+	// preferred by the best-fit policy).
+	Score float64
+}
+
+// HasFeasible reports whether any server other than exclude (-1 = none)
+// could take vm — the capacity question alone, without building the
+// Candidates ranking.
+func (s *Scheduler) HasFeasible(vm *coachvm.CVM, exclude int) bool {
+	for i, st := range s.servers {
+		if i != exclude && st.Pool.Fits(vm) {
+			return true
+		}
+	}
+	return false
+}
+
+// Candidates ranks every feasible server for vm in placement-preference
+// order: best-fit score descending, ties broken on the lowest index.
+// exclude (-1 = none) is never considered — migration must move a VM off
+// its current host. The ranking is the single placement path shared by
+// Place, the migration engine (which filters it by data-plane pressure)
+// and serve's pressure-aware admission, so every layer agrees on what
+// "the scheduler's placement policy" means.
+func (s *Scheduler) Candidates(vm *coachvm.CVM, exclude int) []Candidate {
+	var out []Candidate
+	for i, st := range s.servers {
+		if i == exclude || !st.Pool.Fits(vm) {
+			continue
+		}
+		out = append(out, Candidate{Server: i, Score: s.packScore(st, vm)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
 }
 
 // packScore scores placing vm on st: the mean packed fraction across
@@ -133,24 +210,60 @@ func (s *Scheduler) Remove(vmID int) (*coachvm.CVM, int) {
 	return s.servers[idx].Pool.Remove(vmID), idx
 }
 
-// Migrate moves a VM to another feasible server. It returns the new server
-// index, or ok=false (with the VM restored in place) when no other server
-// fits.
-func (s *Scheduler) Migrate(vmID int) (newServer int, ok bool) {
-	vm, from := s.Remove(vmID)
-	if vm == nil {
-		return -1, false
-	}
-	to, ok := s.PlaceExcluding(vm, from)
+// Migrate moves a VM to the best-fit other feasible server. On failure
+// the VM's placement is unchanged and the error is typed: ErrUnknownVM
+// when the scheduler never placed vmID (drop the migration), ErrNoCapacity
+// when no other server fits (re-route cross-shard or leave in place).
+func (s *Scheduler) Migrate(vmID int) (newServer int, err error) {
+	from, ok := s.placement[vmID]
 	if !ok {
-		// Restore.
+		return -1, fmt.Errorf("%w: %d", ErrUnknownVM, vmID)
+	}
+	cands := s.Candidates(s.servers[from].Pool.Members()[vmID], from)
+	if len(cands) == 0 {
+		return -1, fmt.Errorf("%w: migrating vm %d", ErrNoCapacity, vmID)
+	}
+	return cands[0].Server, s.MigrateTo(vmID, cands[0].Server)
+}
+
+// MigrateTo moves a VM to an explicit server — the destination a
+// migration engine picked from Candidates. On failure the VM stays where
+// it was, with the same typed errors as Migrate.
+func (s *Scheduler) MigrateTo(vmID, target int) error {
+	if target < 0 || target >= len(s.servers) {
+		return fmt.Errorf("scheduler: migration target %d outside [0,%d)", target, len(s.servers))
+	}
+	from, ok := s.placement[vmID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownVM, vmID)
+	}
+	if target == from {
+		return fmt.Errorf("scheduler: vm %d already on server %d", vmID, target)
+	}
+	vm := s.servers[from].Pool.Remove(vmID)
+	if !s.servers[target].Pool.Fits(vm) {
+		// Restore: capacity on the source is still reserved.
 		if err := s.servers[from].Pool.Add(vm); err != nil {
 			panic(fmt.Sprintf("scheduler: restore after failed migration: %v", err))
 		}
-		s.placement[vmID] = from
-		return -1, false
+		return fmt.Errorf("%w: vm %d on server %d", ErrNoCapacity, vmID, target)
 	}
-	return to, true
+	if err := s.servers[target].Pool.Add(vm); err != nil {
+		panic(fmt.Sprintf("scheduler: move to feasible server failed: %v", err))
+	}
+	s.placement[vmID] = target
+	return nil
+}
+
+// CVM returns the placed CoachVM for vmID (nil when not placed). The
+// migration engine uses it to re-place a VM whose live migration
+// completed without re-deriving the guaranteed/oversubscribed split.
+func (s *Scheduler) CVM(vmID int) *coachvm.CVM {
+	idx, ok := s.placement[vmID]
+	if !ok {
+		return nil
+	}
+	return s.servers[idx].Pool.Members()[vmID]
 }
 
 // ServerOf returns the server index hosting vmID, or -1.

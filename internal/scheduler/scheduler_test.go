@@ -1,6 +1,8 @@
 package scheduler
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -99,9 +101,9 @@ func TestBestFitConsolidates(t *testing.T) {
 func TestMigrateMovesVM(t *testing.T) {
 	s := mustScheduler(t, smallFleet(2))
 	from, _ := s.Place(guaranteedVM(1, 4, 16))
-	to, ok := s.Migrate(1)
-	if !ok {
-		t.Fatal("migration failed with a free server available")
+	to, err := s.Migrate(1)
+	if err != nil {
+		t.Fatalf("migration failed with a free server available: %v", err)
 	}
 	if to == from {
 		t.Error("migration must change servers")
@@ -114,8 +116,8 @@ func TestMigrateMovesVM(t *testing.T) {
 func TestMigrateRestoresOnFailure(t *testing.T) {
 	s := mustScheduler(t, smallFleet(1))
 	idx, _ := s.Place(guaranteedVM(1, 4, 16))
-	if _, ok := s.Migrate(1); ok {
-		t.Fatal("migration must fail with a single server")
+	if _, err := s.Migrate(1); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("single-server migration = %v, want ErrNoCapacity", err)
 	}
 	if s.ServerOf(1) != idx {
 		t.Error("VM must be restored to its original server")
@@ -127,8 +129,128 @@ func TestMigrateRestoresOnFailure(t *testing.T) {
 
 func TestMigrateUnknownVM(t *testing.T) {
 	s := mustScheduler(t, smallFleet(1))
-	if _, ok := s.Migrate(99); ok {
-		t.Error("migrating unknown VM must fail")
+	if _, err := s.Migrate(99); !errors.Is(err, ErrUnknownVM) {
+		t.Errorf("migrating unknown VM = %v, want ErrUnknownVM", err)
+	}
+}
+
+func TestMigrateNoCapacity(t *testing.T) {
+	// Two servers, the second too full to take the first's VM: the
+	// failure must be typed ErrNoCapacity, distinguishable from an
+	// unknown VM, and leave the placement untouched.
+	s := mustScheduler(t, smallFleet(2))
+	idx, _ := s.Place(guaranteedVM(1, 10, 40))
+	blocker, _ := s.Place(guaranteedVM(2, 10, 40))
+	if idx == blocker {
+		t.Fatal("fixture VMs must land on distinct servers")
+	}
+	if _, err := s.Migrate(1); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("migration into a full fleet = %v, want ErrNoCapacity", err)
+	}
+	if errors.Is(fmt.Errorf("%w: x", ErrNoCapacity), ErrUnknownVM) {
+		t.Fatal("error kinds must be distinguishable")
+	}
+	if s.ServerOf(1) != idx {
+		t.Error("failed migration must not move the VM")
+	}
+}
+
+func TestMigrateToExplicitTarget(t *testing.T) {
+	s := mustScheduler(t, smallFleet(3))
+	from, _ := s.Place(guaranteedVM(1, 4, 16))
+	target := (from + 2) % 3
+	if err := s.MigrateTo(1, target); err != nil {
+		t.Fatal(err)
+	}
+	if s.ServerOf(1) != target {
+		t.Errorf("VM on server %d, want %d", s.ServerOf(1), target)
+	}
+	if err := s.MigrateTo(1, target); err == nil {
+		t.Error("migrating onto the current server must fail")
+	}
+	if err := s.MigrateTo(1, 7); err == nil {
+		t.Error("out-of-range target must fail")
+	}
+	if err := s.MigrateTo(99, 0); !errors.Is(err, ErrUnknownVM) {
+		t.Errorf("unknown VM = %v, want ErrUnknownVM", err)
+	}
+	// Fill the target so the move cannot fit: typed failure, placement
+	// restored.
+	s.Place(guaranteedVM(2, 14, 56))
+	blocked := s.ServerOf(2)
+	if blocked == target {
+		t.Fatal("fixture: blocker landed on the VM's own server")
+	}
+	if err := s.MigrateTo(1, blocked); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("move onto full server = %v, want ErrNoCapacity", err)
+	}
+	if s.ServerOf(1) != target {
+		t.Error("failed MigrateTo must restore the VM")
+	}
+}
+
+func TestCandidatesRankingMatchesPlace(t *testing.T) {
+	fleet := cluster.NewFleet([]cluster.Config{
+		{Name: "T", Spec: cluster.ServerSpec{Name: "t", Generation: 1,
+			Capacity: resources.NewVector(16, 64, 10, 1024)}, Servers: 4},
+	})
+	s := mustScheduler(t, fleet)
+	// Stagger occupancy so scores differ.
+	s.PlaceAt(guaranteedVM(10, 8, 32), 2)
+	s.PlaceAt(guaranteedVM(11, 4, 16), 1)
+	probe := guaranteedVM(1, 2, 8)
+	cands := s.Candidates(probe, -1)
+	if len(cands) != 4 {
+		t.Fatalf("got %d candidates, want 4", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score > cands[i-1].Score {
+			t.Fatal("candidates not sorted by descending score")
+		}
+	}
+	want, ok := s.Place(probe)
+	if !ok || want != cands[0].Server {
+		t.Errorf("Place chose %d, Candidates ranked %d first", want, cands[0].Server)
+	}
+	// Excluding the best candidate removes exactly it.
+	rest := s.Candidates(guaranteedVM(2, 2, 8), cands[0].Server)
+	for _, c := range rest {
+		if c.Server == cands[0].Server {
+			t.Error("excluded server still ranked")
+		}
+	}
+	// HasFeasible agrees with the ranking without building it.
+	if !s.HasFeasible(guaranteedVM(3, 2, 8), -1) {
+		t.Error("HasFeasible false with feasible servers")
+	}
+	if s.HasFeasible(guaranteedVM(4, 99, 8), -1) {
+		t.Error("HasFeasible true for an unplaceable VM")
+	}
+}
+
+func TestPlaceAtAndCVM(t *testing.T) {
+	s := mustScheduler(t, smallFleet(2))
+	vm := guaranteedVM(1, 4, 16)
+	if err := s.PlaceAt(vm, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.ServerOf(1) != 1 {
+		t.Error("PlaceAt ignored the explicit server")
+	}
+	if got := s.CVM(1); got != vm {
+		t.Error("CVM accessor must return the placed CoachVM")
+	}
+	if s.CVM(42) != nil {
+		t.Error("CVM of an unplaced id must be nil")
+	}
+	if err := s.PlaceAt(vm, 0); err == nil {
+		t.Error("duplicate PlaceAt must fail")
+	}
+	if err := s.PlaceAt(guaranteedVM(2, 99, 16), 0); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("infeasible PlaceAt = %v, want ErrNoCapacity", err)
+	}
+	if err := s.PlaceAt(guaranteedVM(3, 1, 1), 9); err == nil {
+		t.Error("out-of-range PlaceAt must fail")
 	}
 }
 

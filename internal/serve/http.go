@@ -53,6 +53,19 @@ type ReleaseResponse struct {
 	Released bool `json:"released"`
 }
 
+// ReportRequest is the /v1/report body: a live memory-utilization push
+// for an admitted VM, as a fraction of its allocation.
+type ReportRequest struct {
+	VM         int     `json:"vm"`
+	MemoryUtil float64 `json:"memory_util"`
+}
+
+// ReportResponse is the /v1/report result.
+type ReportResponse struct {
+	VM      int  `json:"vm"`
+	Applied bool `json:"applied"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -65,6 +78,7 @@ type ErrorResponse struct {
 //	POST /v1/predict  — per-window utilization prediction for one VM
 //	POST /v1/admit    — predict, shape into a CoachVM and place it
 //	POST /v1/release  — free an admitted VM's capacity
+//	POST /v1/report   — push live memory utilization for an admitted VM
 //
 // See docs/api.md for request/response schemas, error codes and curl
 // examples.
@@ -75,6 +89,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/admit", s.handleAdmit)
 	mux.HandleFunc("/v1/release", s.handleRelease)
+	mux.HandleFunc("/v1/report", s.handleReport)
 	return mux
 }
 
@@ -138,10 +153,47 @@ func (s *Service) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	if res.Admitted {
 		resp.Alloc = vectorMap(res.Alloc)
 		resp.Guaranteed = vectorMap(res.Guaranteed)
-	} else {
+	} else if resp.Reason = res.Reason; resp.Reason == "" {
 		resp.Reason = "no server in the home cluster has capacity"
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReport applies a live utilization report (POST /v1/report): the
+// pushed memory_util fraction drives the VM's data-plane working set
+// instead of the age-indexed trace replay. 409 when the VM is not
+// admitted, 404 when unknown, 400 on a malformed body or a disabled data
+// plane.
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req ReportRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed request body: " + err.Error()})
+		return
+	}
+	vm := s.VM(req.VM)
+	if vm == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown vm %d", req.VM)})
+		return
+	}
+	applied, err := s.Report(vm, req.MemoryUtil)
+	if err != nil {
+		if errors.Is(err, ErrDataPlaneDisabled) {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeServiceError(w, err)
+		return
+	}
+	if !applied {
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: fmt.Sprintf("vm %d is not admitted", vm.ID)})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReportResponse{VM: vm.ID, Applied: true})
 }
 
 func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {

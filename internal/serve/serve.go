@@ -24,6 +24,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -78,6 +79,30 @@ type Config struct {
 	// when DataPlane is set.
 	MitigationPolicy agent.Policy
 	MitigationMode   agent.Mode
+	// DataPlanePoolFrac and DataPlaneUnallocFrac override the per-server
+	// pool sizing (fractions of memory capacity; 0 = the
+	// core.DefaultDataPlaneConfig defaults), mirroring the simulator's
+	// knobs so coachd can serve the same pressure scenarios experiments
+	// replay.
+	DataPlanePoolFrac    float64
+	DataPlaneUnallocFrac float64
+	// CrossShardMigration lets completed live migrations escape their
+	// home cluster shard through the two-phase (reserve-then-commit)
+	// handoff in TickDataPlane. Requires DataPlane.
+	CrossShardMigration bool
+	// MigrationDirtyFrac and MigrationPressureFrac override the
+	// migration engine defaults (0 = core.DefaultMigrationConfig): the
+	// working-set fraction that demand-faults at a migration target, and
+	// the projected pool occupancy above which a server is not a target.
+	MigrationDirtyFrac    float64
+	MigrationPressureFrac float64
+	// AdmitPressureFrac makes admission pressure-aware (0 = off): an
+	// oversubscribed VM is only placed on a server whose pool, after
+	// absorbing the VM's scheduled peak VA demand, stays below this
+	// occupancy — re-routing it off the best-fit server when that pool
+	// is thrashing, and rejecting it when no server in the home cluster
+	// can absorb it (even if raw capacity exists). Requires DataPlane.
+	AdmitPressureFrac float64
 }
 
 // DefaultConfig returns the paper's deployed configuration with
@@ -105,22 +130,55 @@ type fleetShard struct {
 
 	// dp is the shard's memory data plane (nil unless Config.DataPlane);
 	// dpVMs tracks each attached VM's utilization cursor so TickDataPlane
-	// can replay its working set sample by sample. Both are guarded by mu.
+	// can replay its working set sample by sample; eng is the shard's
+	// migration engine over the same scheduler and data plane. All are
+	// guarded by mu.
 	dp    *core.DataPlane
 	dpVMs map[int]*dpTracked
+	eng   *core.MigrationEngine
+
+	// Migration-landing and pressure-admission counters (guarded by mu).
+	// Cross-shard landings are attributed to the source shard, warm
+	// arrivals to the landing shard.
+	sameShardMigs    int64
+	crossShardMigs   int64
+	failedMigs       int64
+	warmArrivedGB    float64
+	pressureRejected int64
+}
+
+// countPlan folds a landed migration plan into the shard's counters.
+func (sh *fleetShard) countPlan(p core.MigrationPlan) {
+	if p.Relanded {
+		sh.failedMigs++
+	} else {
+		sh.sameShardMigs++
+	}
+	sh.warmArrivedGB += p.WarmGB
 }
 
 // dpTracked is one admitted VM's data-plane state: age counts the
 // 5-minute ticks since admission, indexing into the VM's utilization
-// series (clamped to its last sample once the series is exhausted).
+// series (clamped to its last sample once the series is exhausted) —
+// until a live utilization report (POST /v1/report) overrides the
+// replayed series with client-pushed truth.
 type dpTracked struct {
 	vm  *trace.VM
 	age int
+	// reported is the last client-reported memory utilization fraction;
+	// once hasReport is set it drives the working set instead of the
+	// age-indexed replay.
+	reported  float64
+	hasReport bool
 }
 
 // wss returns the VM's current working-set size: allocation times the
+// reported utilization when a client pushed one, otherwise the
 // utilization sample at the VM's age.
 func (d *dpTracked) wss() float64 {
+	if d.hasReport {
+		return d.vm.Alloc[resources.Memory] * d.reported
+	}
 	s := d.vm.Util[resources.Memory]
 	if len(s) == 0 {
 		return 0
@@ -146,6 +204,14 @@ type Service struct {
 	trainCfg predict.LongTermConfig
 	vmByID   map[int]*trace.VM
 	shards   []*fleetShard
+
+	// route maps an admitted VM to the shard that currently holds it.
+	// Admission always lands a VM in its home cluster's shard, but a
+	// cross-shard migration can move it; Release, Report and duplicate
+	// detection follow the route, not the home. Guarded by routeMu,
+	// never held together with a shard lock.
+	routeMu sync.Mutex
+	route   map[int]int
 
 	batcher *batcher
 
@@ -207,12 +273,13 @@ func New(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Service, error) {
 		cache:    cache,
 		trainCfg: ltCfg,
 		vmByID:   make(map[int]*trace.VM, len(tr.VMs)),
+		route:    make(map[int]int),
 		key:      ModelKey{TraceID: Fingerprint(tr), TrainUpTo: cfg.TrainUpTo, Config: keyCfg},
 	}
 	for i := range tr.VMs {
 		s.vmByID[tr.VMs[i].ID] = &tr.VMs[i]
 	}
-	for _, servers := range fleet.Shards() {
+	for ci, servers := range fleet.Shards() {
 		sh := &fleetShard{}
 		if len(servers) > 0 {
 			sched, err := scheduler.NewOverServers(servers, cfg.Windows)
@@ -224,12 +291,25 @@ func New(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Service, error) {
 				dpCfg := core.DefaultDataPlaneConfig()
 				dpCfg.Agent.Policy = cfg.MitigationPolicy
 				dpCfg.Agent.Mode = cfg.MitigationMode
+				if cfg.DataPlanePoolFrac > 0 {
+					dpCfg.PoolFrac = cfg.DataPlanePoolFrac
+				}
+				if cfg.DataPlaneUnallocFrac > 0 {
+					dpCfg.UnallocFrac = cfg.DataPlaneUnallocFrac
+				}
 				dp, err := core.NewDataPlane(dpCfg, servers)
+				if err != nil {
+					return nil, err
+				}
+				mc := core.MigrationConfigFor(cfg.MigrationDirtyFrac, cfg.MigrationPressureFrac,
+					cfg.CrossShardMigration, fleet.NumClusters())
+				eng, err := core.NewMigrationEngine(mc, ci, sched, dp)
 				if err != nil {
 					return nil, err
 				}
 				sh.dp = dp
 				sh.dpVMs = make(map[int]*dpTracked)
+				sh.eng = eng
 			}
 		}
 		s.shards = append(s.shards, sh)
@@ -304,8 +384,11 @@ func (s *Service) Predict(vm *trace.VM) (coachvm.Prediction, bool, error) {
 // AdmitResult reports one admission decision.
 type AdmitResult struct {
 	// Admitted is false when no server in the VM's home cluster had
-	// capacity.
+	// capacity, or (with AdmitPressureFrac set) when no server's pool
+	// could absorb the VM's oversubscribed demand.
 	Admitted bool
+	// Reason explains a rejection ("" when admitted).
+	Reason string
 	// Cluster is the home cluster the VM was routed to.
 	Cluster int
 	// Server is the shard-local server index the VM was placed on (-1
@@ -324,6 +407,12 @@ type AdmitResult struct {
 // and places it onto its home cluster's shard. Admissions of distinct
 // clusters run concurrently; within a cluster the shard lock serializes
 // placement so the underlying best-fit packer stays deterministic.
+//
+// With AdmitPressureFrac set, admission of an oversubscribed VM consults
+// the shard's data-plane pressure through the migration engine's shared
+// placement path: the VM is re-routed to the best-fit server whose pool
+// can absorb its scheduled peak VA demand, and rejected — even when raw
+// capacity exists — when every pool in the home cluster is thrashing.
 func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
 	pred, ok, err := s.Predict(vm)
 	if err != nil {
@@ -341,20 +430,44 @@ func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
 		Alloc:          vm.Alloc,
 		Guaranteed:     cvm.Guaranteed,
 	}
+	if s.routedShard(vm.ID) >= 0 {
+		return res, fmt.Errorf("serve: vm %d %w", vm.ID, ErrAlreadyAdmitted)
+	}
 	sh := s.shards[ci]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.sched == nil {
 		sh.rejected++
+		res.Reason = "home cluster has no servers"
 		return res, nil
 	}
 	if sh.sched.ServerOf(vm.ID) >= 0 {
 		return res, fmt.Errorf("serve: vm %d %w", vm.ID, ErrAlreadyAdmitted)
 	}
-	srv, placed := sh.sched.Place(cvm)
+	srv, placed := -1, false
+	if sh.dp != nil && s.cfg.AdmitPressureFrac > 0 {
+		if need := core.VAPeakGB(cvm); need > 0 {
+			if c, ok := core.PickPlacement(sh.sched, sh.dp, cvm, -1, need, s.cfg.AdmitPressureFrac); ok {
+				if err := sh.sched.PlaceAt(cvm, c.Server); err == nil {
+					srv, placed = c.Server, true
+				}
+			} else if sh.sched.HasFeasible(cvm, -1) {
+				// Capacity exists, but no pool can absorb the VM's
+				// oversubscribed demand: admitting it would only add to
+				// the thrashing.
+				sh.rejected++
+				sh.pressureRejected++
+				res.Reason = "pool pressure: no server in the home cluster can absorb the VM's oversubscribed demand"
+				return res, nil
+			}
+		}
+	}
 	if !placed {
-		sh.rejected++
-		return res, nil
+		if srv, placed = sh.sched.Place(cvm); !placed {
+			sh.rejected++
+			res.Reason = "no server in the home cluster has capacity"
+			return res, nil
+		}
 	}
 	sh.admitted++
 	res.Admitted = true
@@ -369,39 +482,125 @@ func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
 		sh.dpVMs[vm.ID] = tr
 		sh.dp.SetWSS(vm.ID, tr.wss())
 	}
+	s.setRoute(vm.ID, ci)
 	return res, nil
 }
 
-// Release removes an admitted VM from its server, freeing its capacity.
-// released reports whether the VM was admitted; after Close it returns
-// ErrClosed like every other mutating call, so a post-shutdown Stats
-// snapshot is final.
+// routedShard returns the shard currently holding vmID (-1 when not
+// admitted).
+func (s *Service) routedShard(vmID int) int {
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	if ci, ok := s.route[vmID]; ok {
+		return ci
+	}
+	return -1
+}
+
+func (s *Service) setRoute(vmID, shard int) {
+	s.routeMu.Lock()
+	s.route[vmID] = shard
+	s.routeMu.Unlock()
+}
+
+func (s *Service) clearRoute(vmID int) {
+	s.routeMu.Lock()
+	delete(s.route, vmID)
+	s.routeMu.Unlock()
+}
+
+// Release removes an admitted VM from its server — wherever migration
+// routed it — freeing its capacity. released reports whether the VM was
+// admitted; after Close it returns ErrClosed like every other mutating
+// call, so a post-shutdown Stats snapshot is final.
+//
+// A Release can race a cross-shard handoff mid-flight: the route still
+// names the source shard while the VM's bookkeeping has left it but not
+// yet committed at the destination. Returning false there would leak the
+// VM (the caller believes it gone while the commit re-admits it
+// elsewhere), so Release retries while the route says "admitted" but the
+// routed shard does not hold the VM — the handoff always completes and
+// re-points or clears the route, at which point the retry resolves.
 func (s *Service) Release(vm *trace.VM) (released bool, err error) {
 	if s.isClosed() {
 		return false, ErrClosed
 	}
-	sh := s.shards[s.shardIndex(vm)]
+	for attempt := 0; ; attempt++ {
+		ci := s.routedShard(vm.ID)
+		routed := ci >= 0
+		if !routed {
+			ci = s.shardIndex(vm)
+		}
+		sh := s.shards[ci]
+		sh.mu.Lock()
+		if sh.sched == nil {
+			sh.mu.Unlock()
+			return false, nil
+		}
+		if cvm, _ := sh.sched.Remove(vm.ID); cvm == nil {
+			sh.mu.Unlock()
+			if routed && attempt < 1000 {
+				// In-flight handoff: yield until it commits or cancels.
+				runtime.Gosched()
+				continue
+			}
+			return false, nil
+		}
+		if sh.dp != nil {
+			sh.dp.Detach(vm.ID)
+			delete(sh.dpVMs, vm.ID)
+		}
+		sh.released++
+		sh.mu.Unlock()
+		s.clearRoute(vm.ID)
+		return true, nil
+	}
+}
+
+// Report records a live memory-utilization report for an admitted VM:
+// the client-pushed fraction of the VM's allocation drives its data-plane
+// working set from now on, replacing the age-indexed replay of its trace
+// utilization series (POST /v1/report). Out-of-range fractions are
+// clamped to [0,1]. applied is false when the VM is not admitted (or the
+// service has no data plane attachment for it).
+func (s *Service) Report(vm *trace.VM, memUtil float64) (applied bool, err error) {
+	if s.isClosed() {
+		return false, ErrClosed
+	}
+	if !s.cfg.DataPlane {
+		return false, ErrDataPlaneDisabled
+	}
+	if memUtil < 0 {
+		memUtil = 0
+	}
+	if memUtil > 1 {
+		memUtil = 1
+	}
+	ci := s.routedShard(vm.ID)
+	if ci < 0 {
+		return false, nil
+	}
+	sh := s.shards[ci]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.sched == nil {
+	tr, ok := sh.dpVMs[vm.ID]
+	if !ok {
 		return false, nil
 	}
-	if cvm, _ := sh.sched.Remove(vm.ID); cvm == nil {
-		return false, nil
-	}
-	if sh.dp != nil {
-		sh.dp.Detach(vm.ID)
-		delete(sh.dpVMs, vm.ID)
-	}
-	sh.released++
+	tr.reported, tr.hasReport = memUtil, true
+	sh.dp.SetWSS(vm.ID, tr.wss())
 	return true, nil
 }
 
 // TickDataPlane advances every shard's memory data plane by one 5-minute
 // sample: each admitted VM's working set follows its utilization series
-// and every server runs hypervisor paging plus the agent's
-// monitoring/prediction/mitigation pass. cmd/coachd calls it on a wall-
-// clock timer (-dp-interval); tests drive it directly. It returns
+// (or its last live report), every server runs hypervisor paging plus the
+// agent's monitoring/prediction/mitigation pass, and completed live
+// migrations resolve through the shard's migration engine under its lock
+// — scheduler bookkeeping and memory moving together. Migrations with no
+// unpressured same-shard target hand off cross-shard afterwards
+// (applyHandoff). cmd/coachd calls it on a wall-clock timer
+// (-dp-interval); tests drive it directly. It returns
 // ErrDataPlaneDisabled when the service was built without a data plane.
 func (s *Service) TickDataPlane() error {
 	if s.isClosed() {
@@ -410,6 +609,8 @@ func (s *Service) TickDataPlane() error {
 	if !s.cfg.DataPlane {
 		return ErrDataPlaneDisabled
 	}
+	tick := int(s.dpTicks.Load())
+	var handoffs []core.MigrationRequest
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		if sh.dp == nil {
@@ -420,13 +621,134 @@ func (s *Service) TickDataPlane() error {
 			tr.age++
 			sh.dp.SetWSS(id, tr.wss())
 		}
-		_, err := sh.dp.Tick(dpTickSeconds)
-		sh.mu.Unlock()
+		_, completed, err := sh.dp.Tick(dpTickSeconds)
 		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		plans, reqs, err := sh.eng.Resolve(tick, completed)
+		if err != nil {
+			sh.mu.Unlock()
+			return err
+		}
+		for _, p := range plans {
+			sh.countPlan(p)
+		}
+		handoffs = append(handoffs, reqs...)
+		sh.mu.Unlock()
+	}
+	for _, req := range handoffs {
+		if err := s.applyHandoff(req); err != nil {
 			return err
 		}
 	}
 	s.dpTicks.Add(1)
+	return nil
+}
+
+// applyHandoff lands one cross-shard migration request with a two-phase
+// (reserve-then-commit) protocol that never holds two shard locks at
+// once:
+//
+//  1. Pick: poll every other shard (one lock at a time) for its best
+//     unpressured best-fit server.
+//  2. Reserve: place the CoachVM on the chosen destination — capacity is
+//     now held at the destination while the source still holds its own,
+//     so a concurrent admission cannot squeeze the VM out mid-flight.
+//  3. Release: verify the VM still lives on its source server (a
+//     concurrent Release may have dropped it — then the reservation is
+//     cancelled and the in-flight memory discarded), remove the source
+//     bookkeeping and utilization tracking.
+//  4. Commit: attach the memory at the destination, pre-copied pages
+//     arriving resident, and update the route so Release/Report find
+//     the VM in its new shard.
+//
+// Requests no shard can absorb settle back in their home shard through
+// the engine's same-shard fallback.
+func (s *Service) applyHandoff(req core.MigrationRequest) error {
+	bestShard, found := -1, false
+	var bestCand scheduler.Candidate
+	for j, dst := range s.shards {
+		if j == req.SrcShard || dst.eng == nil {
+			continue
+		}
+		dst.mu.Lock()
+		c, ok := dst.eng.PickInbound(req)
+		dst.mu.Unlock()
+		// Strict > keeps the lowest shard index on score ties.
+		if ok && (!found || c.Score > bestCand.Score) {
+			bestShard, bestCand, found = j, c, true
+		}
+	}
+	src := s.shards[req.SrcShard]
+	if !found {
+		return s.settleHome(src, req)
+	}
+	dst := s.shards[bestShard]
+
+	// Phase 1: reserve capacity at the destination.
+	dst.mu.Lock()
+	err := dst.eng.Reserve(req, bestCand.Server)
+	dst.mu.Unlock()
+	if err != nil {
+		// The candidate filled up between pick and reserve; settle at
+		// home rather than retrying a moving target.
+		return s.settleHome(src, req)
+	}
+
+	// Phase 2: release the source, verifying the exact CoachVM we are
+	// migrating is still placed there. Pointer identity — not the
+	// (VMID, server) pair — guards against the ABA race where a
+	// concurrent Release and re-Admit put a fresh CVM with the same id
+	// back on the same server mid-flight; hijacking that admission
+	// would orphan its new data-plane attachment.
+	src.mu.Lock()
+	if src.sched == nil || src.sched.CVM(req.VMID) != req.CVM {
+		src.mu.Unlock()
+		dst.mu.Lock()
+		dst.eng.CancelReservation(req.VMID)
+		dst.mu.Unlock()
+		return nil // released mid-flight: the in-flight memory has no owner, drop it
+	}
+	src.eng.ReleaseSource(req.VMID)
+	tracked := src.dpVMs[req.VMID]
+	delete(src.dpVMs, req.VMID)
+	src.crossShardMigs++
+	src.mu.Unlock()
+
+	// Phase 3: commit the memory at the destination.
+	dst.mu.Lock()
+	plan, err := dst.eng.CommitInbound(req, bestCand.Server)
+	if err == nil {
+		if tracked == nil {
+			tracked = &dpTracked{vm: s.vmByID[req.VMID]}
+		}
+		dst.dpVMs[req.VMID] = tracked
+		dst.dp.SetWSS(req.VMID, tracked.wss())
+		dst.warmArrivedGB += plan.WarmGB
+	}
+	dst.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.setRoute(req.VMID, bestShard)
+	return nil
+}
+
+// settleHome lands a declined cross-shard request back in its home shard
+// (least-pressured feasible server, else a warm re-land on the source),
+// unless the VM was released mid-flight.
+func (s *Service) settleHome(src *fleetShard, req core.MigrationRequest) error {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	if src.sched == nil || src.sched.CVM(req.VMID) != req.CVM {
+		return nil // released (or released and re-admitted) mid-flight
+	}
+	plan, err := src.eng.Settle(req)
+	if err != nil {
+		return err
+	}
+	src.countPlan(plan)
 	return nil
 }
 
@@ -476,6 +798,17 @@ type DataPlaneStats struct {
 	Trims         int     `json:"trims"`
 	Extends       int     `json:"extends"`
 	Migrations    int     `json:"migrations"`
+	// Migration-landing outcomes (docs/DESIGN.md §10): same-shard
+	// landings, cross-shard handoffs, failed (re-landed) migrations, and
+	// the pre-copied volume that arrived resident at targets.
+	SameShardMigrations  int64   `json:"same_shard_migrations"`
+	CrossShardMigrations int64   `json:"cross_shard_migrations"`
+	FailedMigrations     int64   `json:"failed_migrations"`
+	WarmArrivedGB        float64 `json:"warm_arrived_gb"`
+	// PressureRejected counts admissions rejected because no pool in the
+	// home cluster could absorb the VM's oversubscribed demand
+	// (Config.AdmitPressureFrac).
+	PressureRejected int64 `json:"pressure_rejected"`
 }
 
 // Stats is a point-in-time snapshot of the service.
@@ -517,6 +850,11 @@ func (s *Service) Stats() Stats {
 			st.DataPlane.PoolUsedGB += sh.dp.PoolUsedGB()
 			totals = totals.Add(sh.dp.Totals())
 			counters = counters.Add(sh.dp.Counters())
+			st.DataPlane.SameShardMigrations += sh.sameShardMigs
+			st.DataPlane.CrossShardMigrations += sh.crossShardMigs
+			st.DataPlane.FailedMigrations += sh.failedMigs
+			st.DataPlane.WarmArrivedGB += sh.warmArrivedGB
+			st.DataPlane.PressureRejected += sh.pressureRejected
 		}
 		sh.mu.Unlock()
 		st.Placed += cs.Placed

@@ -66,6 +66,17 @@ type DataPlaneResult struct {
 	FirstTrimTick    int
 	FirstExtendTick  int
 	FirstMigrateTick int
+	// Migration-landing outcomes (docs/DESIGN.md §10): completed live
+	// migrations that landed on another server in their home shard
+	// (SameShard), re-homed into a different cluster shard through the
+	// sample-boundary exchange (CrossShard, attributed to the source
+	// shard), or found no feasible target anywhere and re-landed on
+	// their source (Failed). WarmArrivedGB is the pre-copied volume that
+	// arrived resident at targets instead of demand-faulting.
+	SameShardMigrations  int
+	CrossShardMigrations int
+	FailedMigrations     int
+	WarmArrivedGB        float64
 	// LatencyHist is a log-scale histogram of per-VM-tick mean access
 	// latencies (8 buckets per doubling from 50ns). Histograms merge by
 	// integer addition, which is how percentiles stay deterministic
@@ -128,6 +139,10 @@ func (d *DataPlaneResult) merge(o *DataPlaneResult) {
 	d.FirstTrimTick = minTick(d.FirstTrimTick, o.FirstTrimTick)
 	d.FirstExtendTick = minTick(d.FirstExtendTick, o.FirstExtendTick)
 	d.FirstMigrateTick = minTick(d.FirstMigrateTick, o.FirstMigrateTick)
+	d.SameShardMigrations += o.SameShardMigrations
+	d.CrossShardMigrations += o.CrossShardMigrations
+	d.FailedMigrations += o.FailedMigrations
+	d.WarmArrivedGB += o.WarmArrivedGB
 	for i, n := range o.LatencyHist {
 		d.LatencyHist[i] += n
 	}
@@ -191,15 +206,20 @@ func (d *DataPlaneResult) latencyPercentile(q float64) float64 {
 	return latencyOf(latencyBuckets - 1)
 }
 
-// shardDataPlane bundles a shard's data plane with its result accumulator.
+// shardDataPlane bundles a shard's data plane and migration engine with
+// its result accumulator.
 type shardDataPlane struct {
 	dp  *core.DataPlane
+	eng *core.MigrationEngine
 	res *DataPlaneResult
 }
 
-// newShardDataPlane builds the data plane over a shard's servers (dp nil
-// when the cluster has none; the accumulator still merges so the merged
-// Result always carries a DataPlaneResult when the config enables one).
+// newShardDataPlane builds the data plane and migration engine over a
+// shard's servers (both nil when the cluster has none; the accumulator
+// still merges so the merged Result always carries a DataPlaneResult when
+// the config enables one). The engine shares the shard scheduler the
+// replay places VMs with, so a landed migration moves capacity
+// bookkeeping and memory together.
 func newShardDataPlane(sh *shard, cfg Config) (*shardDataPlane, error) {
 	sdp := &shardDataPlane{res: newDataPlaneResult(cfg)}
 	if sh.sched == nil {
@@ -223,24 +243,15 @@ func newShardDataPlane(sh *shard, cfg Config) (*shardDataPlane, error) {
 	if err != nil {
 		return nil, err
 	}
-	sdp.dp = dp
-	return sdp, nil
-}
-
-// tick advances the shard's data plane by one trace sample and folds the
-// resulting frames and counter deltas into the accumulator. t is the
-// 0-based evaluation tick.
-func (s *shardDataPlane) tick(t int) error {
-	if s.dp == nil {
-		return nil
-	}
-	frames, err := s.dp.Tick(dpTickSeconds)
+	mc := core.MigrationConfigFor(cfg.MigrationDirtyFrac, cfg.MigrationPressureFrac,
+		cfg.CrossShardMigration, cfg.shards)
+	eng, err := core.NewMigrationEngine(mc, sh.index, sh.sched, dp)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	s.res.observe(frames)
-	s.res.mark(t, s.dp.Counters())
-	return nil
+	sdp.dp = dp
+	sdp.eng = eng
+	return sdp, nil
 }
 
 // result finalizes and returns the shard's data-plane result.

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"github.com/coach-oss/coach/internal/agent"
+	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/predict"
+	"github.com/coach-oss/coach/internal/resources"
 	"github.com/coach-oss/coach/internal/scheduler"
 )
 
@@ -151,6 +153,104 @@ func TestDataPlanePolicies(t *testing.T) {
 		if f := dp.SoftFaultFrac(); f < 0 || f > 1 {
 			t.Errorf("%s: soft-fault fraction %v", p, f)
 		}
+	}
+}
+
+// TestCrossShardMigrationDeterministicAcrossWorkers extends the
+// byte-identity requirement to the sample-boundary exchange: with
+// cross-shard migration enabled — shards coupled at every sample
+// boundary — the merged Result, including every migration counter, must
+// be identical whether shards tick serially or on any number of workers.
+// The fixture's single-server clusters leave migrations no same-shard
+// target, so the exchange path genuinely runs (asserted below).
+func TestCrossShardMigrationDeterministicAcrossWorkers(t *testing.T) {
+	tr, fleet := fixtures(t)
+	cfg := dataPlaneConfig(t, agent.PolicyMigrate)
+	cfg.CrossShardMigration = true
+	cfg.Model = sharedModel(t, cfg)
+
+	var base *Result
+	for _, workers := range []int{1, 2, 8} {
+		cfg.Workers = workers
+		res, err := Run(tr, fleet, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(base, res) {
+			t.Errorf("Workers=%d result differs from Workers=1:\n  base dp: %+v\n  got dp:  %+v",
+				workers, base.DataPlane, res.DataPlane)
+		}
+	}
+	if base.DataPlane.CrossShardMigrations == 0 {
+		t.Fatal("exchange never re-homed a VM cross-shard: the byte-identity test is vacuous")
+	}
+	if base.Requested != base.Placed+base.Rejected {
+		t.Errorf("accounting broke under migration: requested %d != placed %d + rejected %d",
+			base.Requested, base.Placed, base.Rejected)
+	}
+}
+
+// hotColdFleet engineers the escape-valve scenario: one "hot" cluster
+// with a single small-memory server (a pool too small for its tenants'
+// working sets) next to a "cold" cluster of large-memory servers with
+// room to spare. Same-shard migration has nowhere to go; the cross-shard
+// exchange can re-home hot VMs onto the cold pools.
+func hotColdFleet() *cluster.Fleet {
+	return cluster.NewFleet([]cluster.Config{
+		{Name: "hot", Spec: cluster.ServerSpec{Name: "small", Generation: 1,
+			Capacity: resources.NewVector(64, 128, 40, 4096)}, Servers: 1},
+		{Name: "cold", Spec: cluster.ServerSpec{Name: "big", Generation: 4,
+			Capacity: resources.NewVector(320, 4096, 100, 16384)}, Servers: 4},
+	})
+}
+
+// TestCrossShardRelievesPressure compares the Migrate ladder with and
+// without the cross-shard escape valve at equal pool pressure on the
+// hot/cold fleet: same-shard mode can only re-land the hot cluster's
+// migrations on their contended source (failed migrations), while
+// cross-shard mode moves them to pools that can absorb them — so it must
+// convert failures into landings and reduce the thrashing signals
+// (stolen working-set memory, hard-fault volume).
+func TestCrossShardRelievesPressure(t *testing.T) {
+	tr, _ := fixtures(t)
+	fleet := hotColdFleet()
+	cfg := dataPlaneConfig(t, agent.PolicyMigrate)
+	cfg.Model = sharedModel(t, cfg)
+
+	same, err := Run(tr, fleet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CrossShardMigration = true
+	cross, err := Run(tr, fleet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, cd := same.DataPlane, cross.DataPlane
+	if sd.Counters.Migrations == 0 {
+		t.Fatal("fixture regression: the hot pool never provoked a migration")
+	}
+	if sd.CrossShardMigrations != 0 {
+		t.Errorf("same-shard run recorded %d cross-shard migrations", sd.CrossShardMigrations)
+	}
+	if cd.CrossShardMigrations == 0 {
+		t.Fatal("cross-shard mode never escaped the shard")
+	}
+	if cd.FailedMigrations >= sd.FailedMigrations+sd.SameShardMigrations {
+		t.Errorf("cross-shard mode failed %d migrations vs %d same-shard landings+failures — escape valve ineffective",
+			cd.FailedMigrations, sd.FailedMigrations+sd.SameShardMigrations)
+	}
+	if cd.Totals.StolenGB > sd.Totals.StolenGB+1e-9 {
+		t.Errorf("cross-shard migration stole more working-set memory: %v > %v",
+			cd.Totals.StolenGB, sd.Totals.StolenGB)
+	}
+	if cd.Totals.HardFaultGB > sd.Totals.HardFaultGB+1e-9 {
+		t.Errorf("cross-shard migration hard-faulted more: %v > %v",
+			cd.Totals.HardFaultGB, sd.Totals.HardFaultGB)
 	}
 }
 

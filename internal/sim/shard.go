@@ -5,6 +5,7 @@ import (
 
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/core"
 	"github.com/coach-oss/coach/internal/predict"
 	"github.com/coach-oss/coach/internal/resources"
 	"github.com/coach-oss/coach/internal/scheduler"
@@ -21,7 +22,9 @@ type event struct {
 // shard is one independently replayable partition of the simulation: the
 // servers of a single cluster plus the event stream of the VMs homed
 // there. Clusters never share VMs in the scheduler, so shards exchange no
-// state during replay and can run concurrently.
+// state while ticking and replay concurrently; with cross-shard migration
+// enabled they additionally trade migrated VMs at sample boundaries
+// through the deterministic exchange step (docs/DESIGN.md §10).
 type shard struct {
 	index  int
 	sched  *scheduler.Scheduler // nil when the cluster has no servers
@@ -112,159 +115,316 @@ type placedRec struct {
 	synced bool
 }
 
-// run replays the shard sequentially over the evaluation period. It is the
-// single-threaded hot loop; Run schedules many of these on a worker pool.
+// migRequest pairs a cross-shard migration request with the trace VM it
+// moves, so the destination shard can keep replaying its utilization
+// series and schedule its departure.
+type migRequest struct {
+	core.MigrationRequest
+	vm *trace.VM
+}
+
+// shardState is one shard's live replay state. It persists across ticks
+// so Run can advance every shard one 5-minute sample in parallel, apply
+// the cross-shard migration exchange at the boundary, and continue —
+// replacing the former run-to-completion loop. All mutation is
+// single-threaded: inside step by the shard's worker, inside the
+// add/remove helpers by the serial exchange.
+type shardState struct {
+	sh    *shard
+	tr    *trace.Trace
+	model *predict.LongTerm
+	cfg   Config
+	sr    *shardResult
+
+	servers  []*scheduler.ServerState
+	sdp      *shardDataPlane
+	demand   []resources.Vector
+	vmCount  []int
+	cpuLimit []float64
+	recs     []placedRec
+	pos      map[int]int // VM ID -> index into recs
+	used     int
+	ei       int
+	zero     resources.Vector
+
+	// extra holds migration-injected departure events for VMs that moved
+	// in from another shard, kept sorted by (sample, vm.ID); xi is the
+	// cursor. Their original departure events still sit in the source
+	// shard's stream, where they no-op (the VM is no longer tracked
+	// there).
+	extra []event
+	xi    int
+	// outbox collects this tick's cross-shard migration requests for the
+	// sample-boundary exchange.
+	outbox []migRequest
+}
+
+// newShardState builds a shard's replay state at the start of the
+// evaluation period.
+func newShardState(sh *shard, tr *trace.Trace, model *predict.LongTerm, cfg Config) (*shardState, error) {
+	ticks := tr.Horizon - cfg.TrainUpTo
+	st := &shardState{
+		sh:    sh,
+		tr:    tr,
+		model: model,
+		cfg:   cfg,
+		sr:    &shardResult{usedByTick: make([]int, ticks)},
+		pos:   make(map[int]int),
+	}
+	if sh.sched != nil {
+		st.servers = sh.sched.Servers()
+	}
+	if cfg.DataPlane {
+		sdp, err := newShardDataPlane(sh, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st.sdp = sdp
+	}
+	st.demand = make([]resources.Vector, len(st.servers))
+	st.vmCount = make([]int, len(st.servers))
+	st.cpuLimit = make([]float64, len(st.servers))
+	for i, srv := range st.servers {
+		st.cpuLimit[i] = cfg.CPUContentionFrac * srv.Server.Capacity()[resources.CPU]
+	}
+	return st, nil
+}
+
+// step replays one evaluation tick t: events, the incremental demand
+// delta pass, the data-plane tick with migration resolution, and the
+// contention counters. It is the single-threaded hot loop; Run schedules
+// one step per shard per tick (or whole shards when no exchange is
+// possible) on the worker pool.
 //
 // Contention is accounted incrementally: each placed VM's current demand
 // contribution is kept in its record and in a running per-server demand
-// vector, updated on arrival/departure and by a per-tick delta pass that
-// touches only VMs whose utilization sample changed — O(placed deltas +
-// occupied servers) per tick instead of the former O(fleet servers +
-// placed) full rebuild. All updates happen in deterministic (event/slice)
-// order, so float sums are bit-reproducible across runs and worker counts.
-func (sh *shard) run(tr *trace.Trace, model *predict.LongTerm, cfg Config) (*shardResult, error) {
-	ticks := tr.Horizon - cfg.TrainUpTo
-	sr := &shardResult{usedByTick: make([]int, ticks)}
-
-	var servers []*scheduler.ServerState
-	if sh.sched != nil {
-		servers = sh.sched.Servers()
-	}
-
-	var sdp *shardDataPlane
-	if cfg.DataPlane {
-		var err error
-		if sdp, err = newShardDataPlane(sh, cfg); err != nil {
-			return nil, err
+// vector, updated on arrival/departure/migration and by a per-tick delta
+// pass that touches only VMs whose utilization sample changed — O(placed
+// deltas + occupied servers) per tick instead of a full rebuild. All
+// updates happen in deterministic (event/slice) order, so float sums are
+// bit-reproducible across runs and worker counts.
+func (st *shardState) step(t int) error {
+	// Migration-injected departures first: like the event stream's
+	// departures-before-arrivals discipline, they free capacity before
+	// this tick's arrivals place.
+	for st.xi < len(st.extra) && st.extra[st.xi].sample == t {
+		ev := st.extra[st.xi]
+		st.xi++
+		if st.removeTracked(ev.vm.ID, true) {
+			st.sh.sched.Remove(ev.vm.ID)
 		}
 	}
-	demand := make([]resources.Vector, len(servers))
-	vmCount := make([]int, len(servers))
-	cpuLimit := make([]float64, len(servers))
-	for i, st := range servers {
-		cpuLimit[i] = cfg.CPUContentionFrac * st.Server.Capacity()[resources.CPU]
-	}
-
-	var (
-		recs []placedRec
-		zero resources.Vector
-	)
-	pos := make(map[int]int) // VM ID -> index into recs
-	used := 0
-	ei := 0
-	for t := cfg.TrainUpTo; t < tr.Horizon; t++ {
-		for ei < len(sh.events) && sh.events[ei].sample == t {
-			ev := sh.events[ei]
-			ei++
-			if !ev.arrival {
-				p, ok := pos[ev.vm.ID]
-				if !ok {
-					continue // was rejected on arrival
-				}
-				if sdp != nil && sdp.dp != nil {
-					sdp.dp.Detach(ev.vm.ID)
-				}
-				r := recs[p]
-				demand[r.srv] = demand[r.srv].Sub(r.last)
-				vmCount[r.srv]--
-				if vmCount[r.srv] == 0 {
-					used--
-					// Reset to cancel residual float drift from the
-					// incremental adds and subtracts.
-					demand[r.srv] = zero
-				}
-				sh.sched.Remove(ev.vm.ID)
-				last := len(recs) - 1
-				recs[p] = recs[last]
-				pos[recs[p].vm.ID] = p
-				recs = recs[:last]
-				delete(pos, ev.vm.ID)
-				continue
+	for st.ei < len(st.sh.events) && st.sh.events[st.ei].sample == t {
+		ev := st.sh.events[st.ei]
+		st.ei++
+		if !ev.arrival {
+			// No-op when the VM was rejected on arrival or emigrated to
+			// another shard (its departure fires there instead).
+			if st.removeTracked(ev.vm.ID, true) {
+				st.sh.sched.Remove(ev.vm.ID)
 			}
-			sr.requested++
-			var pred coachvm.Prediction
-			ok := false
-			if model != nil {
-				pred, ok = model.Predict(tr, ev.vm)
-			}
-			cvm, err := scheduler.BuildCVM(cfg.Policy, ev.vm.ID, ev.vm.Alloc, pred, ok, cfg.Windows)
+			continue
+		}
+		st.sr.requested++
+		var pred coachvm.Prediction
+		ok := false
+		if st.model != nil {
+			pred, ok = st.model.Predict(st.tr, ev.vm)
+		}
+		cvm, err := scheduler.BuildCVM(st.cfg.Policy, ev.vm.ID, ev.vm.Alloc, pred, ok, st.cfg.Windows)
+		if err != nil {
+			return err
+		}
+		if st.sh.sched == nil {
+			st.sr.rejected++
+			continue
+		}
+		srv, placedOK := st.sh.sched.Place(cvm)
+		if !placedOK {
+			st.sr.rejected++
+			continue
+		}
+		st.sr.placed++
+		if st.vmCount[srv] == 0 {
+			st.used++
+		}
+		st.vmCount[srv]++
+		st.pos[ev.vm.ID] = len(st.recs)
+		st.recs = append(st.recs, placedRec{vm: ev.vm, srv: srv})
+		if st.sdp != nil && st.sdp.dp != nil {
+			err := st.sdp.dp.Attach(srv, ev.vm.ID,
+				cvm.Alloc[resources.Memory], cvm.Guaranteed[resources.Memory])
 			if err != nil {
-				return nil, err
-			}
-			if sh.sched == nil {
-				sr.rejected++
-				continue
-			}
-			srv, placedOK := sh.sched.Place(cvm)
-			if !placedOK {
-				sr.rejected++
-				continue
-			}
-			sr.placed++
-			if vmCount[srv] == 0 {
-				used++
-			}
-			vmCount[srv]++
-			pos[ev.vm.ID] = len(recs)
-			recs = append(recs, placedRec{vm: ev.vm, srv: srv})
-			if sdp != nil && sdp.dp != nil {
-				err := sdp.dp.Attach(srv, ev.vm.ID,
-					cvm.Alloc[resources.Memory], cvm.Guaranteed[resources.Memory])
-				if err != nil {
-					return nil, err
-				}
-			}
-			if ok && cfg.Policy != scheduler.PolicyNone {
-				sr.oversubscribed++
-				sr.outcomes = append(sr.outcomes, outcome(ev.vm, cvm, cfg))
+				return err
 			}
 		}
-
-		// Delta pass: fold each placed VM's demand change into its
-		// server's running total. The same change drives the VM's working
-		// set on the data plane, so WSS updates ride the delta fast path.
-		for i := range recs {
-			r := &recs[i]
-			if r.synced && utilUnchanged(r.vm, t) {
-				continue
-			}
-			cur := r.vm.DemandAt(t)
-			if cur != r.last {
-				demand[r.srv] = demand[r.srv].Add(cur.Sub(r.last))
-				r.last = cur
-				if sdp != nil && sdp.dp != nil {
-					sdp.dp.SetWSS(r.vm.ID, cur[resources.Memory])
-				}
-			}
-			r.synced = true
-		}
-
-		if sdp != nil {
-			if err := sdp.tick(t - cfg.TrainUpTo); err != nil {
-				return nil, err
-			}
-		}
-
-		sr.usedByTick[t-cfg.TrainUpTo] = used
-		for i := range servers {
-			if vmCount[i] == 0 {
-				continue
-			}
-			sr.serverTicks++
-			if demand[i][resources.CPU] > cpuLimit[i] {
-				sr.cpuViolations++
-			}
-			// Memory contention: utilized memory beyond the physically
-			// backed amount pages to disk (§4.3).
-			if demand[i][resources.Memory] > servers[i].Pool.Backed()[resources.Memory]+1e-9 {
-				sr.memViolations++
-			}
+		if ok && st.cfg.Policy != scheduler.PolicyNone {
+			st.sr.oversubscribed++
+			st.sr.outcomes = append(st.sr.outcomes, outcome(ev.vm, cvm, st.cfg))
 		}
 	}
-	if sdp != nil {
-		sr.dataPlane = sdp.result()
+
+	// Delta pass: fold each placed VM's demand change into its server's
+	// running total. The same change drives the VM's working set on the
+	// data plane, so WSS updates ride the delta fast path.
+	for i := range st.recs {
+		r := &st.recs[i]
+		if r.synced && utilUnchanged(r.vm, t) {
+			continue
+		}
+		cur := r.vm.DemandAt(t)
+		if cur != r.last {
+			st.demand[r.srv] = st.demand[r.srv].Add(cur.Sub(r.last))
+			r.last = cur
+			if st.sdp != nil && st.sdp.dp != nil {
+				st.sdp.dp.SetWSS(r.vm.ID, cur[resources.Memory])
+			}
+		}
+		r.synced = true
 	}
-	return sr, nil
+
+	if st.sdp != nil {
+		if err := st.dataPlaneTick(t - st.cfg.TrainUpTo); err != nil {
+			return err
+		}
+	}
+
+	st.sr.usedByTick[t-st.cfg.TrainUpTo] = st.used
+	for i := range st.servers {
+		if st.vmCount[i] == 0 {
+			continue
+		}
+		st.sr.serverTicks++
+		if st.demand[i][resources.CPU] > st.cpuLimit[i] {
+			st.sr.cpuViolations++
+		}
+		// Memory contention: utilized memory beyond the physically
+		// backed amount pages to disk (§4.3).
+		if st.demand[i][resources.Memory] > st.servers[i].Pool.Backed()[resources.Memory]+1e-9 {
+			st.sr.memViolations++
+		}
+	}
+	return nil
+}
+
+// dataPlaneTick advances the shard's servers one sample and resolves
+// completed live migrations through the shard's migration engine:
+// same-shard landings move bookkeeping, memory and the incremental
+// accounting together; cross-shard requests go to the outbox for the
+// sample-boundary exchange. t is the 0-based evaluation tick.
+func (st *shardState) dataPlaneTick(t int) error {
+	s := st.sdp
+	if s.dp == nil {
+		return nil
+	}
+	frames, completed, err := s.dp.Tick(dpTickSeconds)
+	if err != nil {
+		return err
+	}
+	s.res.observe(frames)
+	plans, reqs, err := s.eng.Resolve(t, completed)
+	if err != nil {
+		return err
+	}
+	for _, p := range plans {
+		st.applyPlan(p)
+	}
+	for _, r := range reqs {
+		st.outbox = append(st.outbox, migRequest{MigrationRequest: r, vm: st.recs[st.pos[r.VMID]].vm})
+	}
+	s.res.mark(t, s.dp.Counters())
+	return nil
+}
+
+// applyPlan folds a landed migration into the incremental accounting:
+// the VM's demand contribution moves from its old server's running total
+// to the new one's.
+func (st *shardState) applyPlan(p core.MigrationPlan) {
+	dp := st.sdp.res
+	if p.Relanded {
+		dp.FailedMigrations++
+		dp.WarmArrivedGB += p.WarmGB
+		return
+	}
+	dp.SameShardMigrations++
+	dp.WarmArrivedGB += p.WarmGB
+	r := &st.recs[st.pos[p.VMID]]
+	st.demand[p.From] = st.demand[p.From].Sub(r.last)
+	st.vmCount[p.From]--
+	if st.vmCount[p.From] == 0 {
+		st.used--
+		st.demand[p.From] = st.zero
+	}
+	if st.vmCount[p.To] == 0 {
+		st.used++
+	}
+	st.vmCount[p.To]++
+	st.demand[p.To] = st.demand[p.To].Add(r.last)
+	r.srv = p.To
+}
+
+// removeTracked drops a VM from the incremental accounting (and, when
+// detachMemory is set, from the data plane). It returns false when the
+// shard does not track the VM — rejected on arrival, or emigrated.
+func (st *shardState) removeTracked(vmID int, detachMemory bool) bool {
+	p, ok := st.pos[vmID]
+	if !ok {
+		return false
+	}
+	if detachMemory && st.sdp != nil && st.sdp.dp != nil {
+		st.sdp.dp.Detach(vmID)
+	}
+	r := st.recs[p]
+	st.demand[r.srv] = st.demand[r.srv].Sub(r.last)
+	st.vmCount[r.srv]--
+	if st.vmCount[r.srv] == 0 {
+		st.used--
+		// Reset to cancel residual float drift from the incremental adds
+		// and subtracts.
+		st.demand[r.srv] = st.zero
+	}
+	last := len(st.recs) - 1
+	st.recs[p] = st.recs[last]
+	st.pos[st.recs[p].vm.ID] = p
+	st.recs = st.recs[:last]
+	delete(st.pos, vmID)
+	return true
+}
+
+// addImmigrated registers a cross-shard-migrated VM in this shard's
+// accounting after the exchange committed it: a fresh unsynced record
+// (the next delta pass folds its demand in) plus an injected departure
+// event at the VM's end-of-life.
+func (st *shardState) addImmigrated(rq migRequest, server int) {
+	if st.vmCount[server] == 0 {
+		st.used++
+	}
+	st.vmCount[server]++
+	st.pos[rq.VMID] = len(st.recs)
+	st.recs = append(st.recs, placedRec{vm: rq.vm, srv: server})
+	st.insertExtra(event{sample: rq.vm.End, arrival: false, vm: rq.vm})
+}
+
+// insertExtra queues a migration-injected event, keeping the pending
+// suffix sorted by (sample, vm.ID) so replay order stays deterministic.
+func (st *shardState) insertExtra(ev event) {
+	i := st.xi
+	for i < len(st.extra) &&
+		(st.extra[i].sample < ev.sample ||
+			(st.extra[i].sample == ev.sample && st.extra[i].vm.ID < ev.vm.ID)) {
+		i++
+	}
+	st.extra = append(st.extra, event{})
+	copy(st.extra[i+1:], st.extra[i:])
+	st.extra[i] = ev
+}
+
+// finish seals the shard's result after the last tick.
+func (st *shardState) finish() *shardResult {
+	if st.sdp != nil {
+		st.sr.dataPlane = st.sdp.result()
+	}
+	return st.sr
 }
 
 // utilUnchanged reports whether every resource's utilization sample at

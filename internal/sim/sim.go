@@ -20,6 +20,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"github.com/coach-oss/coach/internal/agent"
@@ -82,6 +83,26 @@ type Config struct {
 	// fraction to provoke the contention the mitigation ladder resolves.
 	DataPlanePoolFrac    float64
 	DataPlaneUnallocFrac float64
+	// CrossShardMigration lets completed live migrations escape their
+	// home cluster shard: shards tick one sample in parallel, emit
+	// migration requests into per-shard outboxes, and a deterministic
+	// sample-boundary exchange (requests sorted by (tick, srcShard,
+	// vmID)) re-homes VMs — scheduler bookkeeping, memory, and replay
+	// accounting together — across shards between samples. Result stays
+	// byte-identical for any Workers value. Requires DataPlane; only
+	// meaningful with MitigationPolicy Migrate. See docs/DESIGN.md §10.
+	CrossShardMigration bool
+	// MigrationDirtyFrac and MigrationPressureFrac override the
+	// migration engine's defaults (0 = core.DefaultMigrationConfig):
+	// the working-set fraction that demand-faults at the target because
+	// it was dirtied after the final pre-copy pass, and the pool
+	// occupancy above which a server is not a migration target.
+	MigrationDirtyFrac    float64
+	MigrationPressureFrac float64
+
+	// shards is the fleet's shard count, recorded by Run for the
+	// per-shard engine construction.
+	shards int
 }
 
 // DefaultConfig returns the Coach policy configuration.
@@ -227,6 +248,7 @@ func Run(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.shards = len(shards)
 
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -236,11 +258,50 @@ func Run(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Result, error) {
 		workers = len(shards)
 	}
 
-	results := make([]*shardResult, len(shards))
-	errs := make([]error, len(shards))
+	states := make([]*shardState, len(shards))
+	for i, sh := range shards {
+		if states[i], err = newShardState(sh, tr, model, cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cross-shard migration couples shards at sample boundaries; without
+	// it shards stay closed worlds and replay to completion without
+	// barriers. Both paths produce byte-identical Results for any worker
+	// count.
+	exchanging := cfg.DataPlane && cfg.CrossShardMigration &&
+		cfg.MitigationPolicy == agent.PolicyMigrate && len(shards) > 1
+	if exchanging {
+		err = runExchanging(states, tr, cfg, workers)
+	} else {
+		err = runDecoupled(states, tr, cfg, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]*shardResult, len(states))
+	for i, st := range states {
+		results[i] = st.finish()
+	}
+	return merge(cfg, results, tr.Horizon-cfg.TrainUpTo), nil
+}
+
+// runDecoupled replays every shard to completion independently on the
+// worker pool — the fast path when no inter-shard coupling is possible.
+func runDecoupled(states []*shardState, tr *trace.Trace, cfg Config, workers int) error {
+	runShard := func(st *shardState) error {
+		for t := cfg.TrainUpTo; t < tr.Horizon; t++ {
+			if err := st.step(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(states))
 	if workers <= 1 {
-		for i, sh := range shards {
-			results[i], errs[i] = sh.run(tr, model, cfg)
+		for i, st := range states {
+			errs[i] = runShard(st)
 		}
 	} else {
 		idx := make(chan int)
@@ -250,24 +311,127 @@ func Run(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i], errs[i] = shards[i].run(tr, model, cfg)
+					errs[i] = runShard(states[i])
 				}
 			}()
 		}
-		for i := range shards {
+		for i := range states {
 			idx <- i
 		}
 		close(idx)
 		wg.Wait()
 	}
-	// Report the lowest-indexed shard's error so failures are independent
-	// of scheduling order.
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	return firstErr(errs)
+}
+
+// runExchanging advances every shard one 5-minute sample in parallel,
+// then applies the cross-shard migration exchange at the sample boundary
+// — the ordered-parallelism discipline: compute in parallel, trade state
+// only at the barrier, in one deterministic order.
+func runExchanging(states []*shardState, tr *trace.Trace, cfg Config, workers int) error {
+	errs := make([]error, len(states))
+	var wg sync.WaitGroup
+	for t := cfg.TrainUpTo; t < tr.Horizon; t++ {
+		if workers <= 1 {
+			for i, st := range states {
+				errs[i] = st.step(t)
+			}
+		} else {
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(states); i += workers {
+						errs[i] = states[i].step(t)
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		if err := firstErr(errs); err != nil {
+			return err
+		}
+		if err := exchangeMigrations(states); err != nil {
+			return err
 		}
 	}
-	return merge(cfg, results, tr.Horizon-cfg.TrainUpTo), nil
+	return nil
+}
+
+// firstErr returns the lowest-indexed shard's error so failures are
+// independent of scheduling order.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exchangeMigrations is the serial inter-shard apply step: collect every
+// shard's outbox, order requests by (tick, srcShard, vmID), and land each
+// on the best unpressured best-fit server across all other shards —
+// reserve at the destination, release the source, commit the memory,
+// move the replay accounting. Requests no shard can take settle back in
+// their home shard (least-pressured feasible server, else a warm re-land
+// on the source). Serial execution over a sorted order keeps the merged
+// Result byte-identical for any worker count.
+func exchangeMigrations(states []*shardState) error {
+	var reqs []migRequest
+	for _, st := range states {
+		reqs = append(reqs, st.outbox...)
+		st.outbox = st.outbox[:0]
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	sort.SliceStable(reqs, func(i, j int) bool {
+		a, b := &reqs[i].MigrationRequest, &reqs[j].MigrationRequest
+		if a.Tick != b.Tick {
+			return a.Tick < b.Tick
+		}
+		if a.SrcShard != b.SrcShard {
+			return a.SrcShard < b.SrcShard
+		}
+		return a.VMID < b.VMID
+	})
+	for _, rq := range reqs {
+		src := states[rq.SrcShard]
+		bestShard, found := -1, false
+		var bestCand scheduler.Candidate
+		for j, dst := range states {
+			if j == rq.SrcShard || dst.sdp == nil || dst.sdp.eng == nil {
+				continue
+			}
+			// Strict > keeps the lowest shard index on score ties.
+			if c, ok := dst.sdp.eng.PickInbound(rq.MigrationRequest); ok && (!found || c.Score > bestCand.Score) {
+				bestShard, bestCand, found = j, c, true
+			}
+		}
+		if !found {
+			plan, err := src.sdp.eng.Settle(rq.MigrationRequest)
+			if err != nil {
+				return err
+			}
+			src.applyPlan(plan)
+			continue
+		}
+		dst := states[bestShard]
+		if err := dst.sdp.eng.Reserve(rq.MigrationRequest, bestCand.Server); err != nil {
+			return err
+		}
+		src.sdp.eng.ReleaseSource(rq.VMID)
+		src.removeTracked(rq.VMID, false) // memory already left with the migration
+		plan, err := dst.sdp.eng.CommitInbound(rq.MigrationRequest, bestCand.Server)
+		if err != nil {
+			return err
+		}
+		dst.addImmigrated(rq, bestCand.Server)
+		src.sdp.res.CrossShardMigrations++
+		src.sdp.res.WarmArrivedGB += plan.WarmGB
+	}
+	return nil
 }
 
 // outcome compares a CVM's guaranteed (percentile-based) allocation
