@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	coach-experiments [-scale small|medium|full] [-run id[,id...]] [-parallel n]
+//	coach-experiments [-scale small|medium|full] [-preset NAME|spec.txt]
+//	                  [-run id[,id...]] [-parallel n]
 //	                  [-train-workers n] [-markdown] [-list]
 //
 // Experiments are independent, so -parallel n runs up to n of them
@@ -23,10 +24,12 @@ import (
 	"sync"
 
 	"github.com/coach-oss/coach/internal/experiments"
+	"github.com/coach-oss/coach/internal/scenario"
 )
 
 func main() {
 	scale := flag.String("scale", "medium", "input scale: small, medium or full")
+	preset := flag.String("preset", "", "workload scenario (preset name or spec file) replacing the calibrated trace for every selected experiment")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	parallel := flag.Int("parallel", 1, "experiments to run concurrently (<=0: GOMAXPROCS)")
 	markdown := flag.Bool("markdown", false, "emit Markdown (EXPERIMENTS.md format)")
@@ -68,6 +71,13 @@ func main() {
 
 	ctx := experiments.NewContext(s)
 	ctx.TrainWorkers = *trainWorkers
+	if *preset != "" {
+		sp, err := scenario.Load(*preset)
+		if err != nil {
+			fatal(err)
+		}
+		ctx.Scenario = s.ScenarioSpec(sp)
+	}
 	outs := make([]bytes.Buffer, len(selected))
 	errs := make([]error, len(selected))
 	if workers <= 1 {

@@ -7,9 +7,22 @@
 //
 //	coach-loadgen [-addr http://localhost:8080] [-clients 16]
 //	              [-requests 2000] [-admit-frac 0.25] [-vms 500] [-seed 1]
+//	              [-scenario NAME|spec.txt] [-scale small|medium|full]
+//	              [-speedup 3600] [-from-day -1] [-replay-days 1]
 //
 // -vms must match the served trace's VM population (coachd -scale small
-// serves 500 VMs); unknown ids count as errors. Example output:
+// serves 500 VMs); unknown ids count as errors.
+//
+// With -scenario, loadgen switches to scenario replay: it regenerates
+// the same trace a coachd started with the same -scenario and -scale is
+// serving (the scenario engine is deterministic from its seed), then
+// replays the arrival/departure schedule of the chosen trace window in
+// real time compressed by -speedup (3600 = one trace hour per second).
+// Each arriving VM is admitted at its arrival instant and released at
+// its departure; -from-day -1 starts at the trace midpoint, where
+// coachd's predictor training ends. -clients bounds in-flight requests.
+//
+// Example output:
 //
 //	clients=16 requests=2000 errors=0  wall=1.32s  1515.2 req/s
 //	latency: p50=9.1ms p95=22.4ms p99=31.0ms max=48.2ms
@@ -29,8 +42,11 @@ import (
 	"sync"
 	"time"
 
+	"github.com/coach-oss/coach/internal/experiments"
+	"github.com/coach-oss/coach/internal/scenario"
 	"github.com/coach-oss/coach/internal/serve"
 	"github.com/coach-oss/coach/internal/stats"
+	"github.com/coach-oss/coach/internal/trace"
 )
 
 func main() {
@@ -40,12 +56,134 @@ func main() {
 	admitFrac := flag.Float64("admit-frac", 0.25, "fraction of requests that are admit (each later released)")
 	vms := flag.Int("vms", 500, "VM id space to draw from (must match the served trace)")
 	seed := flag.Int64("seed", 1, "base RNG seed (client i uses seed+i)")
+	scenarioFlag := flag.String("scenario", "", "replay a workload scenario (preset name or spec file) instead of the random request mix; must match the served coachd's -scenario")
+	scale := flag.String("scale", "small", "trace scale of the served coachd (scenario replay only)")
+	speedup := flag.Float64("speedup", 3600, "trace-time compression for scenario replay (3600 = 1 trace hour per second)")
+	fromDay := flag.Int("from-day", -1, "first trace day to replay (-1 = the trace midpoint, where training ends)")
+	replayDays := flag.Int("replay-days", 1, "number of trace days to replay")
 	flag.Parse()
 
-	if err := run(*addr, *clients, *requests, *admitFrac, *vms, *seed); err != nil {
+	var err error
+	if *scenarioFlag != "" {
+		err = replay(*addr, *scenarioFlag, *scale, *fromDay, *replayDays, *speedup, *clients)
+	} else {
+		err = run(*addr, *clients, *requests, *admitFrac, *vms, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "coach-loadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// replay regenerates the scenario's trace and replays one window of its
+// arrival/departure schedule against the server.
+func replay(addr, scen, scaleName string, fromDay, replayDays int, speedup float64, clients int) error {
+	if clients < 1 {
+		return fmt.Errorf("clients must be positive")
+	}
+	sc, err := experiments.ParseScale(scaleName)
+	if err != nil {
+		return err
+	}
+	sp, err := scenario.Load(scen)
+	if err != nil {
+		return err
+	}
+	spec := sc.ScenarioSpec(sp)
+	tr, err := trace.GenerateScenario(spec)
+	if err != nil {
+		return err
+	}
+	if fromDay < 0 {
+		fromDay = spec.Days / 2
+	}
+	evs, err := buildSchedule(tr, fromDay, replayDays, speedup)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("no arrivals in days %d..%d of scenario %q", fromDay, fromDay+replayDays, spec.Name)
+	}
+	if err := check(addr + "/healthz"); err != nil {
+		return fmt.Errorf("coachd not reachable at %s: %w", addr, err)
+	}
+	fmt.Printf("replaying scenario %q day %d..%d: %d events over %s (speedup %gx)\n",
+		spec.Name, fromDay, fromDay+replayDays, len(evs),
+		evs[len(evs)-1].At.Round(time.Millisecond), speedup)
+
+	sem := make(chan struct{}, clients)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var lat []float64
+	var placed, rejected, releases, errors int
+	start := time.Now()
+	for _, ev := range evs {
+		if d := ev.At - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(ev event) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body := fmt.Sprintf(`{"vm": %d}`, ev.VM)
+			t0 := time.Now()
+			if ev.Admit {
+				var resp serve.AdmitResponse
+				code, err := postJSON(addr+"/v1/admit", body, &resp)
+				d := time.Since(t0).Seconds()
+				mu.Lock()
+				defer mu.Unlock()
+				lat = append(lat, d)
+				switch {
+				case err != nil || code >= 500:
+					errors++
+				case code == http.StatusOK && resp.Admitted:
+					placed++
+				case code == http.StatusOK:
+					rejected++
+				}
+				return
+			}
+			// Releasing a VM the server rejected on admit answers 409;
+			// that is schedule skew, not failure.
+			code, err := post(addr+"/v1/release", body)
+			d := time.Since(t0).Seconds()
+			mu.Lock()
+			defer mu.Unlock()
+			lat = append(lat, d)
+			releases++
+			if err != nil || code >= 500 {
+				errors++
+			}
+		}(ev)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Float64s(lat)
+	fmt.Printf("events=%d placed=%d rejected=%d released=%d errors=%d  wall=%s  %.1f req/s\n",
+		len(lat), placed, rejected, releases, errors,
+		wall.Round(time.Millisecond), float64(len(lat))/wall.Seconds())
+	if n := len(lat); n > 0 {
+		fmt.Printf("latency: p50=%s p95=%s p99=%s max=%s\n",
+			dur(stats.PercentileSorted(lat, 50)), dur(stats.PercentileSorted(lat, 95)),
+			dur(stats.PercentileSorted(lat, 99)), dur(lat[n-1]))
+	}
+	var st serve.Stats
+	if err := getJSON(addr+"/v1/stats", &st); err == nil {
+		var srvReleased, srvRejected int64
+		for _, cs := range st.Clusters {
+			srvReleased += cs.Released
+			srvRejected += cs.Rejected
+		}
+		fmt.Printf("server:  placed=%d released=%d rejected=%d batches=%d mean-size=%.1f\n",
+			st.Placed, srvReleased, srvRejected, st.Batch.Batches, st.Batch.MeanSize)
+	}
+	if errors > 0 {
+		return fmt.Errorf("%d requests failed", errors)
+	}
+	return nil
 }
 
 // result collects one client's measurements.
@@ -140,6 +278,18 @@ func client(addr string, n int, admitFrac float64, vms int, seed int64) result {
 		}
 	}
 	return res
+}
+
+func postJSON(url, body string, v any) (int, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
 }
 
 func post(url, body string) (int, error) {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/coach-oss/coach/internal/timeseries"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// event is one scheduled request of a scenario replay.
+type event struct {
+	// At is the wall-clock offset from replay start.
+	At time.Duration
+	VM int
+	// Admit selects the request: true admits the VM, false releases it.
+	Admit bool
+}
+
+// buildSchedule turns a scenario's trace into a wall-clock request
+// schedule: every VM arriving inside the replayed window is admitted at
+// its arrival sample and released at its departure sample when that
+// also falls inside the window, with trace time compressed by speedup
+// (3600 replays an hour of trace per wall-clock second). The schedule
+// is a pure function of the trace, so a loadgen and a coachd built from
+// the same scenario spec at the same scale agree on every VM id.
+func buildSchedule(tr *trace.Trace, fromDay, replayDays int, speedup float64) ([]event, error) {
+	if speedup <= 0 {
+		return nil, fmt.Errorf("speedup %g must be positive", speedup)
+	}
+	lo := fromDay * timeseries.SamplesPerDay
+	hi := lo + replayDays*timeseries.SamplesPerDay
+	if fromDay < 0 || replayDays < 1 || hi > tr.Horizon {
+		return nil, fmt.Errorf("replay window days [%d,%d) outside the %d-day trace",
+			fromDay, fromDay+replayDays, tr.Horizon/timeseries.SamplesPerDay)
+	}
+	wall := func(t int) time.Duration {
+		return time.Duration(float64(t-lo) * float64(timeseries.SampleMinutes) * float64(time.Minute) / speedup)
+	}
+	var evs []event
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.Start < lo || vm.Start >= hi {
+			continue
+		}
+		evs = append(evs, event{At: wall(vm.Start), VM: vm.ID, Admit: true})
+		if vm.End < hi {
+			evs = append(evs, event{At: wall(vm.End), VM: vm.ID})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.VM != b.VM {
+			return a.VM < b.VM
+		}
+		// A VM's admit precedes its release when speedup collapses its
+		// whole lifetime into one instant.
+		return a.Admit
+	})
+	return evs, nil
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"github.com/coach-oss/coach/internal/scenario"
+	"github.com/coach-oss/coach/internal/timeseries"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+func scheduleTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	sp, err := scenario.Preset("capacity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.GenerateScenario(sp.Scaled(300, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildScheduleWindowAndOrder(t *testing.T) {
+	tr := scheduleTrace(t)
+	const fromDay, replayDays = 7, 2
+	const speedup = 3600.0
+	evs, err := buildSchedule(tr, fromDay, replayDays, speedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty schedule for a two-day window")
+	}
+	lo := fromDay * timeseries.SamplesPerDay
+	hi := lo + replayDays*timeseries.SamplesPerDay
+	window := time.Duration(float64(hi-lo) * float64(timeseries.SampleMinutes) * float64(time.Minute) / speedup)
+	admitted := map[int]bool{}
+	for i, ev := range evs {
+		if ev.At < 0 || ev.At > window {
+			t.Fatalf("event %d at %v outside [0,%v]", i, ev.At, window)
+		}
+		if i > 0 && ev.At < evs[i-1].At {
+			t.Fatalf("events not sorted at %d: %v < %v", i, ev.At, evs[i-1].At)
+		}
+		if ev.Admit {
+			if admitted[ev.VM] {
+				t.Fatalf("VM %d admitted twice", ev.VM)
+			}
+			admitted[ev.VM] = true
+		} else if !admitted[ev.VM] {
+			t.Fatalf("VM %d released before its admit", ev.VM)
+		}
+	}
+	// Every scheduled admit is a VM arriving inside the window, and every
+	// such VM is scheduled.
+	want := map[int]bool{}
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.Start >= lo && vm.Start < hi {
+			want[vm.ID] = true
+		}
+	}
+	if len(want) != len(admitted) {
+		t.Fatalf("scheduled %d admits, window holds %d arrivals", len(admitted), len(want))
+	}
+	for id := range admitted {
+		if !want[id] {
+			t.Fatalf("VM %d admitted but arrives outside the window", id)
+		}
+	}
+}
+
+func TestBuildScheduleDeterministic(t *testing.T) {
+	tr := scheduleTrace(t)
+	a, err := buildSchedule(tr, 7, 1, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildSchedule(tr, 7, 1, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBuildScheduleErrors(t *testing.T) {
+	tr := scheduleTrace(t)
+	cases := []struct {
+		name          string
+		fromDay, days int
+		speedup       float64
+	}{
+		{"zero-speedup", 0, 1, 0},
+		{"negative-speedup", 0, 1, -5},
+		{"negative-from-day", -1, 1, 3600},
+		{"zero-days", 0, 0, 3600},
+		{"past-horizon", 13, 2, 3600},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := buildSchedule(tr, tc.fromDay, tc.days, tc.speedup); err == nil {
+				t.Error("buildSchedule accepted an invalid window")
+			}
+		})
+	}
+}

@@ -7,12 +7,17 @@
 //
 // Usage:
 //
-//	coach-sim [-scale small|medium|full] [-policy None|Single|Coach|AggrCoach|all]
+//	coach-sim [-scale small|medium|full] [-preset NAME|spec.txt]
+//	          [-policy None|Single|Coach|AggrCoach|all]
 //	          [-percentile 95] [-windows 6] [-fleet-frac 0.55] [-workers 0]
 //	          [-train-workers 0]
 //	          [-data-plane] [-mitigation None|Trim|Extend|Migrate|all]
 //	          [-mitigation-mode Reactive|Proactive] [-dp-pool-frac 0.02]
 //	          [-cross-shard]
+//
+// -preset replays a declarative workload scenario (internal/scenario)
+// instead of the calibrated GenConfig trace: a shipped preset name or a
+// path to a spec file, rescaled to the chosen -scale.
 //
 // -cross-shard lets completed live migrations escape their home cluster
 // shard through the simulator's sample-boundary exchange (docs/DESIGN.md
@@ -23,12 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/coach-oss/coach/internal/agent"
 	"github.com/coach-oss/coach/internal/experiments"
 	"github.com/coach-oss/coach/internal/predict"
 	"github.com/coach-oss/coach/internal/report"
 	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/scenario"
 	"github.com/coach-oss/coach/internal/scheduler"
 	"github.com/coach-oss/coach/internal/sim"
 	"github.com/coach-oss/coach/internal/timeseries"
@@ -36,6 +43,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "medium", "input scale: small, medium or full")
+	preset := flag.String("preset", "", "workload scenario: a preset name ("+strings.Join(scenario.PresetNames, ", ")+") or a spec file path; empty uses the calibrated GenConfig trace")
 	policy := flag.String("policy", "all", "None, Single, Coach, AggrCoach or all")
 	percentile := flag.Float64("percentile", 0, "override prediction percentile (0 = policy default)")
 	windows := flag.Int("windows", 6, "time windows per day")
@@ -55,6 +63,13 @@ func main() {
 	}
 	ctx := experiments.NewContext(s)
 	ctx.TrainWorkers = *trainWorkers
+	if *preset != "" {
+		sp, err := scenario.Load(*preset)
+		if err != nil {
+			fatal(err)
+		}
+		ctx.Scenario = s.ScenarioSpec(sp)
+	}
 	tr, err := ctx.Trace()
 	if err != nil {
 		fatal(err)

@@ -6,15 +6,19 @@
 //
 // Usage:
 //
-//	coachd [-addr :8080] [-scale small|medium|full] [-servers N]
-//	       [-policy none|single|coach|aggrcoach]
+//	coachd [-addr :8080] [-scale small|medium|full] [-scenario NAME|spec.txt]
+//	       [-servers N] [-policy none|single|coach|aggrcoach]
 //	       [-batch-max N] [-batch-wait D] [-no-batch] [-lazy-train]
 //	       [-train-workers N]
 //	       [-data-plane] [-mitigation None|Trim|Extend|Migrate]
 //	       [-mitigation-mode Reactive|Proactive] [-dp-interval 2s]
 //	       [-dp-pool-frac 0] [-cross-shard=true] [-admit-pressure 0]
 //
-// On start, coachd generates the trace for the chosen scale, trains the
+// On start, coachd generates the trace for the chosen scale — from the
+// calibrated GenConfig generator, or with -scenario from a declarative
+// workload spec (a preset name or spec file, see internal/scenario);
+// cmd/coach-loadgen can replay the same scenario's arrival schedule
+// against the server. It then trains the
 // long-term predictor on the first half (unless -lazy-train defers that
 // to the first request), and serves until SIGINT/SIGTERM, then shuts
 // down gracefully: in-flight requests finish, the prediction batcher
@@ -57,6 +61,7 @@ import (
 	"github.com/coach-oss/coach/internal/agent"
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/experiments"
+	"github.com/coach-oss/coach/internal/scenario"
 	"github.com/coach-oss/coach/internal/scheduler"
 	"github.com/coach-oss/coach/internal/serve"
 	"github.com/coach-oss/coach/internal/trace"
@@ -65,6 +70,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	scale := flag.String("scale", "small", "trace scale: small, medium or full")
+	scenarioFlag := flag.String("scenario", "", "workload scenario: a preset name ("+strings.Join(scenario.PresetNames, ", ")+") or a spec file path; empty uses the calibrated GenConfig trace")
 	servers := flag.Int("servers", 8, "servers per cluster in the ten-cluster fleet")
 	policy := flag.String("policy", "coach", "oversubscription policy: none, single, coach or aggrcoach")
 	batchMax := flag.Int("batch-max", 64, "max prediction requests coalesced into one forest pass")
@@ -82,7 +88,7 @@ func main() {
 	flag.Parse()
 
 	opts := options{
-		addr: *addr, scale: *scale, servers: *servers, policy: *policy,
+		addr: *addr, scale: *scale, scenario: *scenarioFlag, servers: *servers, policy: *policy,
 		batchMax: *batchMax, batchWait: *batchWait, noBatch: *noBatch,
 		lazyTrain: *lazyTrain, trainWorkers: *trainWorkers,
 		dataPlane: *dataPlane, mitigation: *mitigation,
@@ -99,6 +105,7 @@ func main() {
 type options struct {
 	addr           string
 	scale          string
+	scenario       string
 	servers        int
 	policy         string
 	batchMax       int
@@ -125,10 +132,21 @@ func run(o options) error {
 		return err
 	}
 
-	log.Printf("generating %s-scale trace", sc)
-	tr, err := trace.Generate(sc.GenConfig())
-	if err != nil {
-		return err
+	var tr *trace.Trace
+	if o.scenario != "" {
+		sp, err := scenario.Load(o.scenario)
+		if err != nil {
+			return err
+		}
+		log.Printf("generating %s-scale trace from scenario %q", sc, sp.Name)
+		if tr, err = trace.GenerateScenario(sc.ScenarioSpec(sp)); err != nil {
+			return err
+		}
+	} else {
+		log.Printf("generating %s-scale trace", sc)
+		if tr, err = trace.Generate(sc.GenConfig()); err != nil {
+			return err
+		}
 	}
 	fleet := cluster.NewFleet(cluster.DefaultClusters(o.servers))
 

@@ -12,6 +12,7 @@ import (
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/predict"
 	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/scenario"
 	"github.com/coach-oss/coach/internal/timeseries"
 	"github.com/coach-oss/coach/internal/trace"
 )
@@ -60,18 +61,31 @@ func ParseScale(s string) (Scale, error) {
 // scale serves the exact trace the tests and benchmarks use.
 func (s Scale) GenConfig() trace.GenConfig {
 	cfg := trace.DefaultGenConfig()
+	vms, subs := s.population()
+	cfg.VMs = vms
+	cfg.Subscriptions = subs
+	return cfg
+}
+
+// population is the (VMs, Subscriptions) sizing shared by the GenConfig
+// and scenario trace paths at each scale.
+func (s Scale) population() (vms, subscriptions int) {
 	switch s {
 	case ScaleSmall:
-		cfg.VMs = 500
-		cfg.Subscriptions = 50
+		return 500, 50
 	case ScaleMedium:
-		cfg.VMs = 1500
-		cfg.Subscriptions = 100
-	case ScaleFull:
-		cfg.VMs = 3000
-		cfg.Subscriptions = 150
+		return 1500, 100
+	default:
+		return 3000, 150
 	}
-	return cfg
+}
+
+// ScenarioSpec rescales a workload spec's population to this scale,
+// leaving its shape (classes, seasonality, surges) untouched — the
+// scenario analogue of GenConfig.
+func (s Scale) ScenarioSpec(sp *scenario.Spec) *scenario.Spec {
+	vms, subs := s.population()
+	return sp.Scaled(vms, subs)
 }
 
 // Context carries lazily built, cached artifacts shared across
@@ -87,6 +101,13 @@ type Context struct {
 	// byte-identical for any value, so experiment output never depends on
 	// it; cmd tools expose it as -train-workers. Set before first use.
 	TrainWorkers int
+
+	// Scenario, when non-nil, replaces the GenConfig generator: the
+	// context's trace comes from trace.GenerateScenario on this spec
+	// (already scaled — see Scale.ScenarioSpec), and every experiment,
+	// fleet sizing and model in the context follows it. Set before
+	// first use; cmd tools expose it as -preset.
+	Scenario *scenario.Spec
 
 	mu     sync.Mutex
 	tr     *trace.Trace
@@ -107,7 +128,13 @@ func (c *Context) Trace() (*trace.Trace, error) {
 
 func (c *Context) traceLocked() (*trace.Trace, error) {
 	if c.tr == nil {
-		tr, err := trace.Generate(c.Scale.GenConfig())
+		var tr *trace.Trace
+		var err error
+		if c.Scenario != nil {
+			tr, err = trace.GenerateScenario(c.Scenario)
+		} else {
+			tr, err = trace.Generate(c.Scale.GenConfig())
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDistSampleMean: every distribution's sample mean must match
+// MeanValue at a fixed seed — the property the lifetime and working-set
+// calibrations rely on.
+func TestDistSampleMean(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Dist
+	}{
+		{"fixed", Fixed(3.5)},
+		{"uniform", Uniform(0.2, 0.8)},
+		{"exponential", Exponential(8)},
+		{"lognormal", Lognormal(40, 1.1)},
+		{"lognormal-tight", Lognormal(140, 0.3)},
+		{"weibull-heavy", Weibull(10, 0.6)},
+		{"weibull-concentrated", Weibull(10, 3)},
+	}
+	const n = 200000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			var sum float64
+			for i := 0; i < n; i++ {
+				x := tc.d.Sample(rng)
+				if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("sample %d = %v", i, x)
+				}
+				sum += x
+			}
+			mean := sum / n
+			want := tc.d.MeanValue()
+			if math.Abs(mean-want)/want > 0.05 {
+				t.Errorf("sample mean = %.3f, want %.3f +- 5%%", mean, want)
+			}
+		})
+	}
+}
+
+func TestDistValidate(t *testing.T) {
+	bad := []Dist{
+		{Kind: DistKind(42)},
+		Fixed(-1),
+		Fixed(math.NaN()),
+		Uniform(-0.1, 0.5),
+		Uniform(0.5, 0.1),
+		Exponential(0),
+		Exponential(-3),
+		Lognormal(0, 1),
+		Lognormal(10, -1),
+		Lognormal(10, math.Inf(1)),
+		Weibull(0, 1),
+		Weibull(10, 0),
+		Weibull(10, -2),
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("dist %d (%v) should be invalid", i, d.Kind)
+		}
+	}
+	good := []Dist{Fixed(0), Uniform(0, 0), Uniform(1, 2), Exponential(3), Lognormal(40, 0), Weibull(10, 0.5)}
+	for i, d := range good {
+		if err := d.Validate(); err != nil {
+			t.Errorf("dist %d: %v", i, err)
+		}
+	}
+}
+
+func TestDistKindStrings(t *testing.T) {
+	for k, name := range distNames {
+		got, err := ParseDistKind(name)
+		if err != nil || got != k {
+			t.Errorf("ParseDistKind(%s) = %v, %v", name, got, err)
+		}
+		if k.String() != name {
+			t.Errorf("%v.String() = %s", k, k.String())
+		}
+	}
+	if _, err := ParseDistKind("zipf"); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	if s := DistKind(9).String(); s != "DistKind(9)" {
+		t.Errorf("unknown kind string = %s", s)
+	}
+}
+
+func TestProcessStrings(t *testing.T) {
+	for p, name := range processNames {
+		got, err := ParseProcess(name)
+		if err != nil || got != p {
+			t.Errorf("ParseProcess(%s) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseProcess("pareto"); err == nil {
+		t.Error("unknown process must fail")
+	}
+}

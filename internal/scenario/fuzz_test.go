@@ -1,0 +1,37 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec pins the parser's two safety properties: it never
+// panics on arbitrary input, and any accepted spec round-trips through
+// its canonical text form (Parse(Format(sp)) == sp).
+func FuzzParseSpec(f *testing.F) {
+	for _, sp := range Presets() {
+		f.Add(Format(sp))
+	}
+	f.Add(handwrittenSpec)
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("name: x\ndays: 7\n")
+	f.Add("classes:\n  - name: a\n    arrival: gamma cv=2\n")
+	f.Add("surges:\n  - kind: s\n    day: 1.5\n    cluster: 3\n")
+	f.Add("seasonality:\n  diurnal-amp: 0.5\n")
+	f.Add("days: nope\nclasses:\n\t- name: tab\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		sp, err := Parse(text)
+		if err != nil {
+			return
+		}
+		formatted := Format(sp)
+		got, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("reparse of formatted spec failed: %v\ninput: %q\nformatted: %q", err, text, formatted)
+		}
+		if !reflect.DeepEqual(got, sp) {
+			t.Fatalf("round trip changed the spec\ninput: %q\nbefore: %+v\nafter: %+v", text, sp, got)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPresetsValid: every shipped preset must pass Validate — the
+// contract every consumer (trace, sim, loadgen) relies on.
+func TestPresetsValid(t *testing.T) {
+	for _, name := range PresetNames {
+		sp, err := Preset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sp.Name != name {
+			t.Errorf("preset %q has Name %q", name, sp.Name)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestPresetNamesCoverMap: the canonical name list and the preset map
+// must agree exactly, so no preset is unreachable or phantom.
+func TestPresetNamesCoverMap(t *testing.T) {
+	want := sortedPresetNames()
+	got := append([]string(nil), PresetNames...)
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PresetNames %v != preset map keys %v", got, want)
+	}
+	specs := Presets()
+	if len(specs) != len(PresetNames) {
+		t.Fatalf("Presets() returned %d specs", len(specs))
+	}
+	for i, sp := range specs {
+		if sp.Name != PresetNames[i] {
+			t.Errorf("Presets()[%d] = %q, want %q", i, sp.Name, PresetNames[i])
+		}
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	_, err := Preset("no-such-preset")
+	if err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if !strings.Contains(err.Error(), "capacity") {
+		t.Errorf("error %q does not list the known presets", err)
+	}
+}
+
+// TestPresetReturnsFreshCopy: callers may mutate the returned spec
+// without corrupting later lookups.
+func TestPresetReturnsFreshCopy(t *testing.T) {
+	a, _ := Preset("capacity")
+	a.Classes[0].Fraction = 0.99
+	a.VMs = 1
+	b, _ := Preset("capacity")
+	if b.Classes[0].Fraction == 0.99 || b.VMs == 1 {
+		t.Error("Preset returned a shared spec")
+	}
+}
+
+func TestLoadPresetName(t *testing.T) {
+	sp, err := Load("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Preset("bursty")
+	if !reflect.DeepEqual(sp, want) {
+		t.Error("Load(name) differs from Preset(name)")
+	}
+}
+
+func TestLoadSpecFile(t *testing.T) {
+	want, _ := Preset("surge")
+	path := filepath.Join(t.TempDir(), "surge.txt")
+	if err := os.WriteFile(path, []byte(Format(want)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, want) {
+		t.Error("Load(file) differs from the formatted preset")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/no/such/path.txt"); err == nil {
+		t.Error("unreadable path accepted")
+	} else if !strings.Contains(err.Error(), "preset") {
+		t.Errorf("error %q does not mention presets", err)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("days soon\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("unparseable file accepted")
+	}
+	// Parses but fails Validate: no classes.
+	invalid := filepath.Join(dir, "invalid.txt")
+	if err := os.WriteFile(invalid, []byte("days: 7\nvms: 10\nclusters: 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(invalid); err == nil {
+		t.Error("invalid spec file accepted")
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/coach-oss/coach/internal/coachvm"
 	"github.com/coach-oss/coach/internal/predict"
 	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/scenario"
 	"github.com/coach-oss/coach/internal/scheduler"
 	"github.com/coach-oss/coach/internal/timeseries"
 	"github.com/coach-oss/coach/internal/trace"
@@ -99,6 +100,12 @@ type Config struct {
 	// occupancy above which a server is not a migration target.
 	MigrationDirtyFrac    float64
 	MigrationPressureFrac float64
+	// Scenario, when non-nil, is a declarative workload spec. Run called
+	// with a nil trace generates it from the scenario
+	// (trace.GenerateScenario), and a zero TrainUpTo then defaults to
+	// half the spec's horizon. When both a trace and a Scenario are
+	// given, the trace wins — the Scenario is assumed to be its source.
+	Scenario *scenario.Spec
 
 	// shards is the fleet's shard count, recorded by Run for the
 	// per-shard engine construction.
@@ -222,6 +229,18 @@ func (r *Result) UnderAllocFrac(k resources.Kind) float64 {
 // Per-shard results are merged deterministically — the Result (including
 // Outcomes order, sorted by VMID) is byte-identical for any worker count.
 func Run(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Result, error) {
+	if tr == nil {
+		if cfg.Scenario == nil {
+			return nil, fmt.Errorf("sim: nil trace and no Config.Scenario to generate one from")
+		}
+		var err error
+		if tr, err = trace.GenerateScenario(cfg.Scenario); err != nil {
+			return nil, err
+		}
+		if cfg.TrainUpTo == 0 {
+			cfg.TrainUpTo = tr.Horizon / 2
+		}
+	}
 	if cfg.TrainUpTo <= 0 || cfg.TrainUpTo >= tr.Horizon {
 		return nil, fmt.Errorf("sim: TrainUpTo %d outside (0,%d)", cfg.TrainUpTo, tr.Horizon)
 	}

@@ -59,6 +59,11 @@ func (c GenConfig) Validate() error {
 		return fmt.Errorf("trace: GenConfig.Clusters %d < 1", c.Clusters)
 	case c.LongRunningFrac < 0 || c.LongRunningFrac > 1:
 		return fmt.Errorf("trace: GenConfig.LongRunningFrac %f outside [0,1]", c.LongRunningFrac)
+	case c.StartWeekday < time.Sunday || c.StartWeekday > time.Saturday:
+		// Previously ignored: an out-of-range weekday silently shifted
+		// WeekdayAt into nonsense values that never matched Saturday or
+		// Sunday, so weekend dampening disappeared from the whole trace.
+		return fmt.Errorf("trace: GenConfig.StartWeekday %d outside [Sunday,Saturday]", c.StartWeekday)
 	}
 	return nil
 }
@@ -109,16 +114,12 @@ func Generate(cfg GenConfig) (*Trace, error) {
 		Clusters:     cfg.Clusters,
 	}
 
-	// Subscriptions: each gets an archetype and a subscription type.
-	// Archetype weights bias toward the diurnal classes; "unpredictable"
-	// stays a small minority (<10% of VMs end up with no clear peaks).
-	weights := []float64{0.24, 0.14, 0.10, 0.12, 0.10, 0.12, 0.12, 0.06}
 	tr.Subscriptions = make([]Subscription, cfg.Subscriptions)
 	for i := range tr.Subscriptions {
 		tr.Subscriptions[i] = Subscription{
 			ID:        i,
 			Type:      pickSubscriptionType(rng),
-			Archetype: pickWeighted(rng, weights),
+			Archetype: pickWeighted(rng, defaultArchetypeWeights),
 		}
 	}
 
@@ -129,6 +130,12 @@ func Generate(cfg GenConfig) (*Trace, error) {
 	}
 	return tr, nil
 }
+
+// defaultArchetypeWeights bias subscription archetypes toward the
+// diurnal classes; "unpredictable" stays a small minority (<10% of VMs
+// end up with no clear peaks). Shared by the GenConfig generator and
+// the scenario path's "mixed" classes.
+var defaultArchetypeWeights = []float64{0.24, 0.14, 0.10, 0.12, 0.10, 0.12, 0.12, 0.06}
 
 func pickSubscriptionType(rng *rand.Rand) SubscriptionType {
 	r := rng.Float64()
@@ -248,14 +255,26 @@ func sampleConfig(rng *rand.Rand, long bool, numConfigs int) int {
 // VMs similar but not identical (Fig. 12: grouping by subscription+config
 // yields the narrowest peak ranges).
 func synthesizeUtil(vm *VM, tr *Trace, sub *Subscription, rng *rand.Rand) {
-	arch := Archetypes[sub.Archetype]
+	synthesizeShaped(vm, tr, &Archetypes[sub.Archetype], -1, nil, rng)
+}
+
+// synthesizeShaped is the shared series synthesizer behind both
+// generators. baseMem >= 0 re-centers the memory base level (the
+// scenario path's per-class working-set draw); ampAt, when non-nil,
+// multiplies the diurnal activity amplitude at each trace sample (the
+// scenario path's surge utilization lift).
+func synthesizeShaped(vm *VM, tr *Trace, archp *Archetype, baseMemCenter float64, ampAt func(t int) float64, rng *rand.Rand) {
+	arch := *archp
+	if baseMemCenter < 0 {
+		baseMemCenter = arch.BaseMem
+	}
 
 	// Per-VM jitter: small shifts in base, amplitude and phase. Memory
 	// jitter is narrower than CPU, reflecting the tighter within-group
 	// memory predictability of Fig. 12.
 	baseCPU := clamp01(arch.BaseCPU + 0.04*rng.NormFloat64())
 	peakCPU := math.Max(0, arch.PeakCPU*(1+0.15*rng.NormFloat64()))
-	baseMem := clamp01(arch.BaseMem + 0.02*rng.NormFloat64())
+	baseMem := clamp01(baseMemCenter + 0.02*rng.NormFloat64())
 	peakMem := math.Max(0, arch.PeakMem*(1+0.10*rng.NormFloat64()))
 	phase := 0.5 * rng.NormFloat64() // hours
 
@@ -274,6 +293,9 @@ func synthesizeUtil(vm *VM, tr *Trace, sub *Subscription, rng *rand.Rand) {
 		amp := 1.0
 		if weekday == time.Saturday || weekday == time.Sunday {
 			amp = arch.WeekendFactor
+		}
+		if ampAt != nil {
+			amp *= ampAt(t)
 		}
 		act := arch.activity(hour + phase)
 

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/coach-oss/coach/internal/scenario"
+)
+
+// miniSpec returns the named preset scaled down to test size.
+func miniSpec(t *testing.T, name string) *scenario.Spec {
+	t.Helper()
+	sp, err := scenario.Preset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp.Scaled(300, 30)
+}
+
+func TestGenerateScenarioValid(t *testing.T) {
+	for _, name := range scenario.PresetNames {
+		t.Run(name, func(t *testing.T) {
+			tr, err := GenerateScenario(miniSpec(t, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// The arrival processes target the spec's VM budget on
+			// average; the realized count should land near it.
+			n := len(tr.VMs)
+			if n < 150 || n > 600 {
+				t.Errorf("%d VMs generated, want ~300", n)
+			}
+		})
+	}
+}
+
+// TestGenerateScenarioDeterministic gob-serializes two independent
+// generations of the same spec and requires byte identity — stronger
+// than field spot checks, and exactly what the replay tooling relies
+// on when loadgen and the simulator regenerate the trace separately.
+func TestGenerateScenarioDeterministic(t *testing.T) {
+	for _, name := range scenario.PresetNames {
+		t.Run(name, func(t *testing.T) {
+			var bufs [2]bytes.Buffer
+			for i := range bufs {
+				tr, err := GenerateScenario(miniSpec(t, name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.Save(&bufs[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+				t.Fatal("same spec produced different trace bytes")
+			}
+		})
+	}
+}
+
+func TestGenerateScenarioRejectsInvalid(t *testing.T) {
+	sp := miniSpec(t, "capacity")
+	sp.Classes[0].Fraction = -1
+	if _, err := GenerateScenario(sp); err == nil {
+		t.Error("invalid spec must be rejected")
+	}
+
+	sp = miniSpec(t, "capacity")
+	sp.Classes[0].Archetype = "no-such-archetype"
+	if _, err := GenerateScenario(sp); err == nil {
+		t.Error("unknown archetype must be rejected")
+	}
+}
+
+func TestGenerateScenarioClusterPinning(t *testing.T) {
+	// skewed-hot-cold pins the hot class (subscription range of class 0)
+	// to clusters 0 and 1; there are no surges to re-home anyone.
+	sp := miniSpec(t, "skewed-hot-cold")
+	tr, err := GenerateScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := sp.SubscriptionRange(0)
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.Subscription >= lo && vm.Subscription < hi && vm.Cluster > 1 {
+			t.Fatalf("hot-class vm %d placed in cluster %d, want 0 or 1", vm.ID, vm.Cluster)
+		}
+	}
+}
+
+func TestGenerateScenarioSizeBias(t *testing.T) {
+	// churn: class 0 ("ephemeral") is small, class 1 ("resident") is
+	// large. Mean cores must reflect the bias.
+	sp := miniSpec(t, "churn")
+	tr, err := GenerateScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cores [2]float64
+	var n [2]int
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		ci := sp.ClassOfSubscription(vm.Subscription)
+		cores[ci] += vm.Cores()
+		n[ci]++
+	}
+	if n[0] == 0 || n[1] == 0 {
+		t.Fatal("a class generated no VMs")
+	}
+	small, large := cores[0]/float64(n[0]), cores[1]/float64(n[1])
+	if small >= large {
+		t.Errorf("small-class mean cores %.1f >= large-class %.1f", small, large)
+	}
+}
+
+func TestGenerateScenarioWorkingSetCentersMemory(t *testing.T) {
+	// skewed-hot-cold: hot VMs draw working sets in [0.6,0.9], cold in
+	// [0.1,0.3]. Mean memory utilization must separate accordingly.
+	sp := miniSpec(t, "skewed-hot-cold")
+	tr, err := GenerateScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem [2]float64
+	var n [2]int
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if vm.DurationSamples() < 12 {
+			continue
+		}
+		ci := sp.ClassOfSubscription(vm.Subscription)
+		mem[ci] += vm.Util[1].Mean() // resources.Memory
+		n[ci]++
+	}
+	if n[0] == 0 || n[1] == 0 {
+		t.Fatal("a class generated no VMs")
+	}
+	hot, cold := mem[0]/float64(n[0]), mem[1]/float64(n[1])
+	if hot < cold+0.15 {
+		t.Errorf("hot mean memory %.2f not clearly above cold %.2f", hot, cold)
+	}
+}

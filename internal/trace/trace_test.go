@@ -33,17 +33,39 @@ func TestGenConfigValidate(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	bad := []GenConfig{
-		{Days: 0, VMs: 1, Subscriptions: 1, Clusters: 1},
-		{Days: 1, VMs: 0, Subscriptions: 1, Clusters: 1},
-		{Days: 1, VMs: 1, Subscriptions: 0, Clusters: 1},
-		{Days: 1, VMs: 1, Subscriptions: 1, Clusters: 0},
-		{Days: 1, VMs: 1, Subscriptions: 1, Clusters: 1, LongRunningFrac: 2},
+	// One case per field, each mutating a valid config, so every error
+	// branch is pinned to the field that trips it.
+	cases := []struct {
+		name    string
+		mutate  func(*GenConfig)
+		errWant string
+	}{
+		{"days-zero", func(c *GenConfig) { c.Days = 0 }, "Days"},
+		{"days-negative", func(c *GenConfig) { c.Days = -3 }, "Days"},
+		{"vms-zero", func(c *GenConfig) { c.VMs = 0 }, "VMs"},
+		{"vms-negative", func(c *GenConfig) { c.VMs = -1 }, "VMs"},
+		{"subscriptions-zero", func(c *GenConfig) { c.Subscriptions = 0 }, "Subscriptions"},
+		{"clusters-zero", func(c *GenConfig) { c.Clusters = 0 }, "Clusters"},
+		{"long-frac-negative", func(c *GenConfig) { c.LongRunningFrac = -0.1 }, "LongRunningFrac"},
+		{"long-frac-above-one", func(c *GenConfig) { c.LongRunningFrac = 1.5 }, "LongRunningFrac"},
+		{"weekday-negative", func(c *GenConfig) { c.StartWeekday = -1 }, "StartWeekday"},
+		{"weekday-above-saturday", func(c *GenConfig) { c.StartWeekday = 7 }, "StartWeekday"},
 	}
-	for i, cfg := range bad {
-		if err := cfg.Validate(); err == nil {
-			t.Errorf("config %d should be invalid", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultGenConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("config should be invalid")
+			}
+			if !strings.Contains(err.Error(), tc.errWant) {
+				t.Errorf("error %q does not name field %s", err, tc.errWant)
+			}
+			if _, err := Generate(cfg); err == nil {
+				t.Error("Generate must reject what Validate rejects")
+			}
+		})
 	}
 }
 
