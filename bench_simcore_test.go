@@ -1,0 +1,127 @@
+// BenchmarkSimCore: the replay-core grid behind BENCH_simcore.json. One
+// benchmark op is one full evaluation-period replay (sim.Run) of a
+// scenario preset under the None policy — no model training, no data
+// plane — so the timed region is exactly the shard loop the event-driven
+// core rebuilds (docs/DESIGN.md §12). The grid crosses preset (the
+// change-sparse sparse-churn stressor vs. the dense capacity baseline) ×
+// population/horizon × engine (dense reference vs. event core) × Workers
+// {1,2,8}. Each sub-benchmark also reports visits/op — the number of
+// placed-VM records the shard loop touched per replay, counted via
+// sim.Config.VisitCounter — as the machine-independent work metric: on a
+// single-CPU host the wall-clock ratio understates the win, while
+// visits/op is exact and deterministic. cmd/coach-benchdiff gates CI on
+// these numbers against the committed BENCH_simcore.json.
+package coach
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"github.com/coach-oss/coach/internal/scenario"
+	"github.com/coach-oss/coach/internal/sim"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// simCoreSize is one population/horizon point of the grid. serversPer
+// sizes the ten-cluster fleet so the None policy places the bulk of the
+// arrivals (rejections would shrink both engines' work equally, but a
+// mostly-placed fleet is the regime the north star cares about).
+type simCoreSize struct {
+	vms, subs, days, serversPer int
+}
+
+// simCoreTraces caches generated traces across sub-benchmarks (they run
+// sequentially) so -bench filters only pay for the grid points they hit.
+var simCoreTraces = map[string]*trace.Trace{}
+
+func simCoreTrace(b *testing.B, preset string, sz simCoreSize) *trace.Trace {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d/%d", preset, sz.vms, sz.days)
+	if tr, ok := simCoreTraces[key]; ok {
+		return tr
+	}
+	sp, err := scenario.Preset(preset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp = sp.Scaled(sz.vms, sz.subs)
+	sp.Days = sz.days
+	tr, err := trace.GenerateScenario(sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	simCoreTraces[key] = tr
+	return tr
+}
+
+func runSimCore(b *testing.B, preset string, sz simCoreSize, engine sim.EngineKind, workers int) {
+	tr := simCoreTrace(b, preset, sz)
+	fleet := NewFleet(DefaultClusters(sz.serversPer))
+	cfg := SimConfigForPolicy(PolicyNone)
+	cfg.TrainUpTo = tr.Horizon / 2
+	cfg.Workers = workers
+	cfg.Engine = engine
+	var visits int64
+	cfg.VisitCounter = &visits
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(tr, fleet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Placed == 0 {
+			b.Fatal("nothing placed")
+		}
+	}
+	b.ReportMetric(float64(atomic.LoadInt64(&visits))/float64(b.N), "visits/op")
+}
+
+// BenchmarkSimCore is the committed grid: two presets × two sizes ×
+// both engines × Workers {1,2,8}. Record it with
+//
+//	go test -run=NONE -bench=BenchmarkSimCore -benchtime=3x
+func BenchmarkSimCore(b *testing.B) {
+	sizes := []simCoreSize{
+		{vms: 1000, subs: 60, days: 7, serversPer: 110},
+		{vms: 4000, subs: 120, days: 14, serversPer: 420},
+	}
+	for _, preset := range []string{"sparse-churn", "capacity"} {
+		for _, sz := range sizes {
+			for _, engine := range []sim.EngineKind{sim.EngineDense, sim.EngineEvent} {
+				for _, workers := range []int{1, 2, 8} {
+					name := fmt.Sprintf("%s/vms=%d/days=%d/engine=%s/workers=%d",
+						preset, sz.vms, sz.days, engine, workers)
+					preset, sz, engine, workers := preset, sz, engine, workers
+					b.Run(name, func(b *testing.B) {
+						runSimCore(b, preset, sz, engine, workers)
+					})
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSimCoreFull is the acceptance-scale run: sparse-churn at
+// 100k+ VMs over the full two-week horizon, where the ISSUE 7 criterion
+// (≥5× fewer VM-visits for the event core) is measured. It is opt-in via
+// COACH_BENCH_FULL=1: the trace alone is gigabytes and one dense replay
+// op runs for seconds, which is too heavy for the CI bench smoke.
+func BenchmarkSimCoreFull(b *testing.B) {
+	if os.Getenv("COACH_BENCH_FULL") == "" {
+		b.Skip("set COACH_BENCH_FULL=1 to run the 100k-VM acceptance grid")
+	}
+	sz := simCoreSize{vms: 100_000, subs: 1500, days: 14, serversPer: 11000}
+	for _, engine := range []sim.EngineKind{sim.EngineDense, sim.EngineEvent} {
+		for _, workers := range []int{1, 8} {
+			name := fmt.Sprintf("sparse-churn/vms=%d/days=%d/engine=%s/workers=%d",
+				sz.vms, sz.days, engine, workers)
+			engine, workers := engine, workers
+			b.Run(name, func(b *testing.B) {
+				runSimCore(b, "sparse-churn", sz, engine, workers)
+			})
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"github.com/coach-oss/coach/internal/experiments"
 	"github.com/coach-oss/coach/internal/mlforest"
+	"github.com/coach-oss/coach/internal/scenario"
 	"github.com/coach-oss/coach/internal/trace"
 )
 
@@ -28,10 +29,19 @@ var (
 )
 
 // benchContext shares one small-scale context (trace, fleets, trained
-// models) across all benchmarks, mirroring how the cmd tools run.
+// models) across all benchmarks, mirroring how the cmd tools run with
+// -preset: the trace comes from the capacity scenario preset rescaled to
+// ScaleSmall, so benchmarks exercise the same declarative generator the
+// scenario tests and the simulator presets do (docs/DESIGN.md §11)
+// rather than the legacy GenConfig path.
 func benchContext() *experiments.Context {
 	benchCtxOnce.Do(func() {
 		benchCtx = experiments.NewContext(experiments.ScaleSmall)
+		sp, err := scenario.Preset("capacity")
+		if err != nil {
+			panic(err)
+		}
+		benchCtx.Scenario = experiments.ScaleSmall.ScenarioSpec(sp)
 	})
 	return benchCtx
 }
@@ -351,12 +361,14 @@ func BenchmarkFleetTick(b *testing.B) {
 // Micro-benchmarks of the hot paths underlying the experiments.
 
 func BenchmarkTraceGeneration(b *testing.B) {
-	cfg := DefaultTraceConfig()
-	cfg.VMs = 200
-	cfg.Subscriptions = 20
+	sp, err := scenario.Preset("capacity")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp = sp.Scaled(200, 20)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := GenerateTrace(cfg); err != nil {
+		if _, err := trace.GenerateScenario(sp); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,263 @@
+// Command coach-benchdiff gates CI on the simulator-core benchmark grid:
+// it parses `go test -bench` output for the BenchmarkSimCore grid and
+// compares every grid point against the committed BENCH_simcore.json
+// baseline. Exit status 1 means a regression (or a missing grid point).
+//
+// Usage:
+//
+//	go test -run=NONE -bench='^BenchmarkSimCore$' -benchtime=3x . > out.txt
+//	coach-benchdiff -baseline BENCH_simcore.json [-tolerance 0.25] out.txt
+//
+// With no file argument the bench output is read from stdin.
+//
+// Two checks run per grid point, chosen to be meaningful across machines
+// (raw ns/op on shared CI runners is far too noisy to gate on):
+//
+//   - visits/op — the number of placed-VM records the shard loop touched
+//     per replay, reported via sim.Config.VisitCounter — must match the
+//     baseline within the tolerance for each engine. The count is
+//     deterministic, so any drift is a behavioural change: the event
+//     core visiting VMs it used to skip is exactly the regression this
+//     gate exists to catch.
+//   - the event:dense ns/op ratio must not exceed its baseline ratio by
+//     more than the tolerance. Comparing the two engines on the same
+//     host in the same run cancels machine speed out of the gate.
+//
+// Baseline grid points whose names never appear in the bench output fail
+// the gate too — a renamed or silently skipped benchmark would otherwise
+// pass forever. Entries under "full_scale" in the baseline are recorded
+// for documentation (the opt-in COACH_BENCH_FULL acceptance run) and are
+// compared only when present in the output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// engineSample is one (grid point, engine) measurement.
+type engineSample struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	VisitsPerOp float64 `json:"visits_per_op"`
+}
+
+// gridPoint is one preset/size/workers configuration measured under both
+// engines.
+type gridPoint struct {
+	Dense *engineSample `json:"dense"`
+	Event *engineSample `json:"event"`
+}
+
+// baseline mirrors BENCH_simcore.json. Narrative fields (description,
+// analysis) are carried so the file stays self-documenting; only the two
+// grids matter here.
+type baseline struct {
+	Description string               `json:"description"`
+	Benchmarks  map[string]gridPoint `json:"benchmarks"`
+	FullScale   map[string]gridPoint `json:"full_scale"`
+	Analysis    json.RawMessage      `json:"analysis"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_simcore.json", "committed baseline JSON")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative drift for visits/op and for the event:dense ns/op ratio")
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var failures []string
+	checked := 0
+	for _, grid := range []struct {
+		name     string
+		points   map[string]gridPoint
+		required bool
+	}{
+		{"benchmarks", base.Benchmarks, true},
+		{"full_scale", base.FullScale, false},
+	} {
+		for _, key := range sortedKeys(grid.points) {
+			want := grid.points[key]
+			have, ok := got[key]
+			if !ok {
+				if grid.required {
+					failures = append(failures, fmt.Sprintf("%s: grid point missing from bench output", key))
+				}
+				continue
+			}
+			checked++
+			failures = append(failures, checkPoint(key, want, have, *tolerance)...)
+		}
+	}
+	if checked == 0 {
+		failures = append(failures, "no baseline grid point found in bench output (did BenchmarkSimCore run?)")
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("coach-benchdiff: %d grid points within %.0f%% of %s\n", checked, 100**tolerance, *baselinePath)
+}
+
+// checkPoint compares one measured grid point against its baseline.
+func checkPoint(key string, want, have gridPoint, tol float64) []string {
+	var out []string
+	for _, e := range []struct {
+		name       string
+		want, have *engineSample
+	}{{"dense", want.Dense, have.Dense}, {"event", want.Event, have.Event}} {
+		if e.want == nil {
+			continue
+		}
+		if e.have == nil {
+			out = append(out, fmt.Sprintf("%s: engine=%s missing from bench output", key, e.name))
+			continue
+		}
+		if drift := relDrift(e.have.VisitsPerOp, e.want.VisitsPerOp); drift > tol {
+			out = append(out, fmt.Sprintf("%s engine=%s: visits/op %.0f vs baseline %.0f (%+.0f%%)",
+				key, e.name, e.have.VisitsPerOp, e.want.VisitsPerOp, 100*(e.have.VisitsPerOp/e.want.VisitsPerOp-1)))
+		}
+	}
+	if want.Dense != nil && want.Event != nil && have.Dense != nil && have.Event != nil &&
+		want.Dense.NsPerOp > 0 && have.Dense.NsPerOp > 0 {
+		wantRatio := want.Event.NsPerOp / want.Dense.NsPerOp
+		haveRatio := have.Event.NsPerOp / have.Dense.NsPerOp
+		if haveRatio > wantRatio*(1+tol) {
+			out = append(out, fmt.Sprintf("%s: event:dense ns/op ratio %.2f vs baseline %.2f (event core slowed down relative to the reference loop)",
+				key, haveRatio, wantRatio))
+		}
+	}
+	return out
+}
+
+// relDrift is |have-want|/want, treating a zero baseline as only
+// matching zero.
+func relDrift(have, want float64) float64 {
+	if want == 0 {
+		if have == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(have-want) / want
+}
+
+// parseBench reads `go test -bench` output and folds the engine=dense /
+// engine=event sub-benchmarks of each grid point together. Keys match
+// the baseline's: the benchmark name with the "Benchmark" prefix, the
+// GOMAXPROCS "-N" suffix and the "engine=X/" path segment removed, e.g.
+// "SimCore/sparse-churn/vms=1000/days=7/workers=1".
+func parseBench(r io.Reader) (map[string]gridPoint, error) {
+	out := make(map[string]gridPoint)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > strings.LastIndex(name, "/") {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		key, engine, ok := splitEngine(name)
+		if !ok {
+			continue
+		}
+		s := engineSample{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.NsPerOp = v
+			case "visits/op":
+				s.VisitsPerOp = v
+			}
+		}
+		p := out[key]
+		switch engine {
+		case "dense":
+			p.Dense = &s
+		case "event":
+			p.Event = &s
+		}
+		out[key] = p
+	}
+	return out, sc.Err()
+}
+
+// splitEngine removes the "engine=X" path segment from a benchmark name,
+// returning the remaining key and the engine.
+func splitEngine(name string) (key, engine string, ok bool) {
+	segs := strings.Split(name, "/")
+	rest := segs[:0]
+	for _, seg := range segs {
+		if v, found := strings.CutPrefix(seg, "engine="); found {
+			engine = v
+			continue
+		}
+		rest = append(rest, seg)
+	}
+	if engine == "" {
+		return "", "", false
+	}
+	return strings.Join(rest, "/"), engine, true
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in baseline", path)
+	}
+	return &b, nil
+}
+
+func sortedKeys(m map[string]gridPoint) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coach-benchdiff:", err)
+	os.Exit(1)
+}

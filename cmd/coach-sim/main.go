@@ -13,7 +13,7 @@
 //	          [-train-workers 0]
 //	          [-data-plane] [-mitigation None|Trim|Extend|Migrate|all]
 //	          [-mitigation-mode Reactive|Proactive] [-dp-pool-frac 0.02]
-//	          [-cross-shard]
+//	          [-cross-shard] [-engine event|dense]
 //
 // -preset replays a declarative workload scenario (internal/scenario)
 // instead of the calibrated GenConfig trace: a shipped preset name or a
@@ -22,6 +22,11 @@
 // -cross-shard lets completed live migrations escape their home cluster
 // shard through the simulator's sample-boundary exchange (docs/DESIGN.md
 // §10); results stay byte-identical for any -workers value.
+//
+// -engine selects the replay core (docs/DESIGN.md §12): "event" (the
+// default) drives each shard from a calendar queue of utilization change
+// events and skips steady data-plane servers; "dense" is the reference
+// loop. Both produce byte-identical results — -engine only changes speed.
 package main
 
 import (
@@ -55,9 +60,14 @@ func main() {
 	mitigationMode := flag.String("mitigation-mode", "Reactive", "mitigation triggering: Reactive or Proactive")
 	dpPoolFrac := flag.Float64("dp-pool-frac", 0.02, "oversubscribed pool as a fraction of server memory; small values provoke the contention the mitigation ladder resolves")
 	crossShard := flag.Bool("cross-shard", false, "let completed live migrations land in other cluster shards via the sample-boundary exchange (requires -data-plane)")
+	engine := flag.String("engine", "event", "replay core: event (calendar-queue, skips unchanged VMs and steady servers) or dense (reference loop); results are byte-identical")
 	flag.Parse()
 
 	s, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := sim.ParseEngine(*engine)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,6 +104,7 @@ func main() {
 		cfg.Windows = timeseries.Windows{PerDay: *windows}
 		cfg.TrainUpTo = tr.Horizon / 2
 		cfg.Workers = *workers
+		cfg.Engine = eng
 		cfg.LongTerm.Forest.Workers = *trainWorkers
 		if *percentile > 0 {
 			cfg.Percentile = *percentile

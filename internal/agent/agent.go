@@ -178,6 +178,22 @@ func (a *Agent) Tick(dt float64, frame *memsim.TickFrame) {
 	for i := 0; i < frame.Len(); i++ {
 		a.faultAcc += frame.At(i).FaultGB
 	}
+	a.tickCommon(dt)
+}
+
+// TickIdle advances the agent without a fresh stats frame — the
+// skipped-server path of the sparse data-plane tick. A skippable server's
+// cached frame carries exactly-zero FaultGB entries, so omitting the
+// fault accumulation is bit-identical to Tick on that frame. Everything
+// else — the monitoring clock, the EWMA/LSTM predictor observations, the
+// contention detection and the mitigation ladder — runs as usual, so the
+// agent's state evolves exactly as under full ticking; a mitigation
+// started here puts operations in flight, which the caller must treat as
+// the server turning busy again.
+func (a *Agent) TickIdle(dt float64) { a.tickCommon(dt) }
+
+// tickCommon is the shared monitoring/prediction/mitigation pass.
+func (a *Agent) tickCommon(dt float64) {
 	a.sinceMonitor += dt
 	if a.sinceMonitor < a.cfg.MonitorIntervalS {
 		return

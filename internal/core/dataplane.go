@@ -31,6 +31,12 @@ type DataPlaneConfig struct {
 	// UnallocFrac is the spare memory Extend can claim, as a fraction of
 	// the server's memory capacity.
 	UnallocFrac float64
+	// AlwaysTick disables sparse ticking: every server runs a full memsim
+	// tick on every Tick even when provably steady. The event-driven
+	// simulator's dense reference engine sets it so the golden-equivalence
+	// tests compare the sparse path against a ground-truth full replay;
+	// production paths leave it off.
+	AlwaysTick bool
 }
 
 // DefaultDataPlaneConfig returns the fleet defaults: a quarter of each
@@ -100,6 +106,16 @@ type DataPlane struct {
 	frames  []*memsim.TickFrame // last Tick's frames, parallel to servers
 	vms     map[int]*attachment
 
+	// steady marks servers whose next Tick is a provable no-op: the last
+	// full tick moved nothing (memsim.Server.Quiet), no operations are in
+	// flight, and no attach/detach/working-set mutation has touched the
+	// server since. Tick skips them — the cached frame from the last full
+	// tick is bit-identical to what re-ticking would produce — while the
+	// agent still runs every tick (TickIdle) so its monitoring clock and
+	// predictor state evolve exactly as under full ticking. Every mutating
+	// DataPlane method clears the flag for the servers it touches.
+	steady []bool
+
 	completed []CompletedMigration // Tick scratch, reused across ticks
 }
 
@@ -117,6 +133,7 @@ func NewDataPlane(cfg DataPlaneConfig, servers []*cluster.Server) (*DataPlane, e
 		servers: make([]*ServerManager, len(servers)),
 		frames:  make([]*memsim.TickFrame, len(servers)),
 		vms:     make(map[int]*attachment),
+		steady:  make([]bool, len(servers)),
 	}
 	for i, srv := range servers {
 		mem := srv.Capacity()[resources.Memory]
@@ -130,8 +147,27 @@ func NewDataPlane(cfg DataPlaneConfig, servers []*cluster.Server) (*DataPlane, e
 			return nil, err
 		}
 		d.servers[i] = sm
+		// A freshly built server hosts no VMs, has no demand and no
+		// operations: it is steady from birth, so a server that never
+		// receives a VM never runs a single full tick.
+		d.steady[i] = !cfg.AlwaysTick
+		d.frames[i] = sm.Server.Frame()
 	}
 	return d, nil
+}
+
+// Steady reports, per server (parallel to Servers()), whether the last
+// Tick skipped that server's memsim pass and reused its cached frame.
+// The slice is owned by the DataPlane; callers must not mutate it. The
+// simulator uses it to reuse cached per-server histogram contributions
+// instead of re-walking unchanged frames.
+func (d *DataPlane) Steady() []bool { return d.steady }
+
+// touch marks a server busy: its next Tick must run the full memsim pass.
+func (d *DataPlane) touch(server int) {
+	if server >= 0 && server < len(d.steady) {
+		d.steady[server] = false
+	}
 }
 
 // Servers exposes the per-server managers (shared slice: do not mutate).
@@ -172,6 +208,7 @@ func (d *DataPlane) Attach(server, id int, sizeGB, paGB float64) error {
 		return err
 	}
 	d.vms[id] = &attachment{server: server, sizeGB: sizeGB, paGB: paGB}
+	d.touch(server)
 	return nil
 }
 
@@ -183,6 +220,7 @@ func (d *DataPlane) Detach(id int) bool {
 		return false
 	}
 	delete(d.vms, id)
+	d.touch(att.server)
 	return d.servers[att.server].Server.RemoveVM(id)
 }
 
@@ -193,9 +231,18 @@ func (d *DataPlane) SetWSS(id int, wss float64) {
 	if !ok {
 		return
 	}
+	if att.wss == wss {
+		// Value-unchanged updates are no-ops on the VM's page populations
+		// (VMMem.SetWSS with the same working set moves nothing), so they
+		// must not wake a steady server. serve re-asserts every attached
+		// VM's working set each tick; this guard is what keeps those
+		// asserts from defeating sparse ticking.
+		return
+	}
 	att.wss = wss
 	if vm := d.servers[att.server].Server.VM(id); vm != nil {
 		vm.SetWSS(wss)
+		d.touch(att.server)
 	}
 }
 
@@ -210,11 +257,29 @@ func (d *DataPlane) SetWSS(id int, wss float64) {
 func (d *DataPlane) Tick(dt float64) ([]*memsim.TickFrame, []CompletedMigration, error) {
 	d.completed = d.completed[:0]
 	for i, sm := range d.servers {
+		if d.steady[i] {
+			// Provably idle since its last full tick: reuse that tick's
+			// frame (bit-identical to re-ticking) and advance only the
+			// clocks. The agent still monitors every tick; if its pass
+			// starts a mitigation, the server has work again and the next
+			// Tick runs it for real. A steady server cannot complete a
+			// migration (in-flight operations preclude steadiness), so
+			// the departed scan is skipped too.
+			d.frames[i] = sm.Server.SkipTick(dt)
+			sm.Agent.TickIdle(dt)
+			if sm.Server.OpsInFlight() > 0 {
+				d.steady[i] = false
+			}
+			continue
+		}
 		f, err := sm.Tick(dt)
 		if err != nil {
 			return nil, nil, err
 		}
 		d.frames[i] = f
+		if !d.cfg.AlwaysTick {
+			d.steady[i] = sm.Server.Quiet() && sm.Server.OpsInFlight() == 0
+		}
 		for j := 0; j < f.Len(); j++ {
 			if !f.Departed(j) {
 				continue

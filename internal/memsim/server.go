@@ -208,6 +208,16 @@ type Server struct {
 	allowance []float64 // stepFaults scratch, parallel to frame
 	pending   []int     // stepFaults scratch: frame positions with demand
 
+	// quiet reports whether the last full Tick was a complete no-op: no
+	// in-flight operations remained, no memory moved, and no working-set
+	// or pinned demand was left unserved. A quiet server that nothing
+	// mutates from outside would reproduce the exact same tick forever,
+	// which is what lets callers skip it (SkipTick) and reuse its frame.
+	quiet bool
+
+	ticks int64 // full Tick passes executed
+	skips int64 // SkipTick passes executed
+
 	now float64 // seconds
 }
 
@@ -365,6 +375,58 @@ func (s *Server) StartMigrate(vmID int) bool {
 // MigrationsInFlight returns the number of live migrations in progress.
 func (s *Server) MigrationsInFlight() int { return len(s.migrations) }
 
+// OpsInFlight returns the number of in-flight trim, extend and migration
+// operations. A server with pending operations must keep running full
+// ticks: each of them moves memory on the next Tick.
+func (s *Server) OpsInFlight() int {
+	return len(s.trims) + len(s.extends) + len(s.migrations)
+}
+
+// Quiet reports whether the last full Tick was a complete no-op (see the
+// quiet field). It says nothing about mutations made after that tick
+// (AddVM, SetWSS, Start*, AdmitWarm, ...): callers that skip ticks must
+// invalidate their own skip decision on such mutations, which is what
+// core.DataPlane's dirty-server tracking does.
+func (s *Server) Quiet() bool { return s.quiet }
+
+// TickCount returns the number of full Tick passes executed — the test
+// hook the sparse-ticking coverage counts (a provably idle server must
+// receive zero full ticks while skipped).
+func (s *Server) TickCount() int64 { return s.ticks }
+
+// SkipCount returns the number of SkipTick passes executed.
+func (s *Server) SkipCount() int64 { return s.skips }
+
+// Frame returns the server's tick-stats frame as of the last full Tick
+// (empty before the first). Like Tick's return value it is owned by the
+// server and overwritten by the next full Tick.
+func (s *Server) Frame() *TickFrame { return &s.frame }
+
+// SkipTick is the sparse tick entry point: it advances simulated time
+// without re-running the paging and mitigation machinery, returning the
+// cached frame of the last full Tick. It is only valid when that tick
+// was a complete no-op (Quiet() with OpsInFlight() == 0) and nothing
+// mutated the server since — an idle server re-ticked for dt would
+// reproduce exactly that frame, so skipping is bit-identical to ticking.
+func (s *Server) SkipTick(dt float64) *TickFrame {
+	s.now += dt
+	s.skips++
+	return &s.frame
+}
+
+// settled reports whether every VM's working-set and pinned demand is
+// fully served (below the same 1e-9 threshold the fault path uses, so a
+// residue the fault loop would ignore does not keep the server busy).
+func (s *Server) settled() bool {
+	for _, id := range s.order {
+		vm := s.vms[id]
+		if vm.Missing() > 1e-9 || vm.pinnedDemand() > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
 // Migrating reports whether vmID has an in-flight migration.
 func (s *Server) Migrating(vmID int) bool {
 	for _, m := range s.migrations {
@@ -382,6 +444,7 @@ func (s *Server) Tick(dt float64) (*TickFrame, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("memsim: non-positive dt %g", dt)
 	}
+	totalsBefore := s.totals
 	f := &s.frame
 	f.reset(s.order)
 	// The latency mixture is evaluated against the demand present at the
@@ -411,6 +474,11 @@ func (s *Server) Tick(dt float64) (*TickFrame, error) {
 		}
 	}
 	s.now += dt
+	s.ticks++
+	// No memory moved (totals unchanged also implies every frame FaultGB/
+	// StolenGB entry is zero), nothing is in flight, and no demand is
+	// pending: re-running this tick would change nothing.
+	s.quiet = s.totals == totalsBefore && s.OpsInFlight() == 0 && s.settled()
 	return f, nil
 }
 

@@ -126,6 +126,8 @@ func (sp *Spec) setTop(key, value string) error {
 			return err
 		}
 		sp.StartWeekday = wd
+	case "util-quantum":
+		return setFloat(&sp.UtilQuantum, key, value)
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}
@@ -359,6 +361,11 @@ func Format(sp *Spec) string {
 	fmt.Fprintf(&b, "subscriptions: %d\n", sp.Subscriptions)
 	fmt.Fprintf(&b, "clusters: %d\n", sp.Clusters)
 	fmt.Fprintf(&b, "start-weekday: %s\n", sp.StartWeekday)
+	if sp.UtilQuantum != 0 {
+		// Emitted only when set so pre-quantization spec files round-trip
+		// byte-identically.
+		fmt.Fprintf(&b, "util-quantum: %s\n", ftoa(sp.UtilQuantum))
+	}
 	fmt.Fprintf(&b, "seasonality:\n")
 	fmt.Fprintf(&b, "  diurnal-amp: %s\n", ftoa(sp.Seasonality.DiurnalAmp))
 	fmt.Fprintf(&b, "  peak-hour: %s\n", ftoa(sp.Seasonality.PeakHour))

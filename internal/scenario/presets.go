@@ -10,9 +10,10 @@ import (
 
 // PresetNames lists the shipped presets in canonical order: the two
 // traffic shapes the experiments already exercised implicitly
-// (capacity, skewed-hot-cold) plus the four that open new axes
-// (bursty, diurnal, surge, churn).
-var PresetNames = []string{"capacity", "skewed-hot-cold", "bursty", "diurnal", "surge", "churn"}
+// (capacity, skewed-hot-cold), the four that open new axes (bursty,
+// diurnal, surge, churn), and the event-replay stressor whose
+// population churns while utilization barely moves (sparse-churn).
+var PresetNames = []string{"capacity", "skewed-hot-cold", "bursty", "diurnal", "surge", "churn", "sparse-churn"}
 
 // Preset returns a fresh copy of the named preset spec.
 func Preset(name string) (*Spec, error) {
@@ -62,6 +63,7 @@ var presets = map[string]func() *Spec{
 	"diurnal":         presetDiurnal,
 	"surge":           presetSurge,
 	"churn":           presetChurn,
+	"sparse-churn":    presetSparseChurn,
 }
 
 func base(name string, seed int64) *Spec {
@@ -241,6 +243,37 @@ func presetChurn() *Spec {
 			Name: "resident", Fraction: 0.2, Size: "large",
 			Arrival:  PoissonArrival(),
 			Lifetime: Lognormal(120, 0.9), WorkingSet: Uniform(0.35, 0.7),
+		},
+	}
+	return sp
+}
+
+// presetSparseChurn models the fleet the event-driven simulator core is
+// built for: a large steady population whose quantized utilization
+// samples stay flat for long runs (most VMs change demand at only a
+// handful of ticks), plus an ephemeral tail that keeps placement and
+// release bookkeeping honest. Dense replay visits every VM every tick;
+// event replay visits each VM only at its change points — this preset
+// is where the gap is widest, and BenchmarkSimCore measures it here.
+func presetSparseChurn() *Spec {
+	sp := base("sparse-churn", 424242)
+	sp.Seasonality = Seasonality{DiurnalAmp: 0.2, PeakHour: 13, WeekendFactor: 0.9}
+	sp.UtilQuantum = 0.3
+	sp.Classes = []Class{
+		{
+			Name: "steady-core", Fraction: 0.6, Archetype: "steady-high", Size: "large",
+			Arrival:  PoissonArrival(),
+			Lifetime: Lognormal(200, 0.6), WorkingSet: Uniform(0.45, 0.7),
+		},
+		{
+			Name: "cold-tier", Fraction: 0.25, Archetype: "steady-low",
+			Arrival:  PoissonArrival(),
+			Lifetime: Lognormal(160, 0.7), WorkingSet: Uniform(0.15, 0.35),
+		},
+		{
+			Name: "ephemeral", Fraction: 0.15, Size: "small", Archetype: "steady-low",
+			Arrival:  WeibullArrival(0.8),
+			Lifetime: Exponential(3), WorkingSet: Uniform(0.2, 0.4),
 		},
 	}
 	return sp

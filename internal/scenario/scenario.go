@@ -52,6 +52,14 @@ type Spec struct {
 	// Surges are correlated rate/utilization events layered on top of
 	// seasonality (regional failover, launch-day stampede, black friday).
 	Surges []Surge
+	// UtilQuantum, when non-zero, snaps every generated utilization
+	// sample to the nearest multiple of this fraction (e.g. 0.1 = 10%
+	// steps). Quantization turns the generator's continuous per-sample
+	// noise into piecewise-constant series whose demand only moves at
+	// genuine level shifts — the sparse-churn preset uses it to model
+	// telemetry resolution and to give event-driven replay cores change
+	// points to exploit. 0 keeps full-resolution samples.
+	UtilQuantum float64
 }
 
 // Class is one named client population.
@@ -318,6 +326,8 @@ func (sp *Spec) Validate() error {
 		return fmt.Errorf("scenario: StartWeekday %d outside [0,6]", sp.StartWeekday)
 	case len(sp.Classes) == 0:
 		return fmt.Errorf("scenario: no classes")
+	case sp.UtilQuantum < 0 || sp.UtilQuantum > 0.5:
+		return fmt.Errorf("scenario: util-quantum %g outside [0,0.5]", sp.UtilQuantum)
 	}
 	if s := sp.Seasonality; s.DiurnalAmp < 0 || s.DiurnalAmp >= 1 {
 		return fmt.Errorf("scenario: seasonality diurnal-amp %g outside [0,1)", s.DiurnalAmp)

@@ -212,6 +212,75 @@ type shardDataPlane struct {
 	dp  *core.DataPlane
 	eng *core.MigrationEngine
 	res *DataPlaneResult
+	// sparse enables the steady-server observe cache (event engine only);
+	// obs[i] holds server i's cached per-tick histogram contribution.
+	sparse bool
+	obs    []steadyObs
+}
+
+// steadyObs caches one steady server's per-tick contribution to the
+// shard's DataPlaneResult: the VM-tick count and the latency-histogram
+// increments its (unchanging) frame produces. While the server stays
+// steady its frame is bit-identical every tick, so applying the cached
+// integer increments equals re-walking the frame. ticks pins the cache
+// to the server's real-tick count: any fresh full tick (a touched
+// server re-simulating and settling back to steady) may change the
+// frame, which must invalidate the cache.
+type steadyObs struct {
+	valid   bool
+	ticks   int64
+	vmTicks int
+	bucket  []int32
+	count   []int64
+}
+
+// observeSparse folds one tick's frames into the result like
+// DataPlaneResult.observe, but replays cached increments for servers that
+// stayed steady and only walks frames that could have changed.
+func (s *shardDataPlane) observeSparse(frames []*memsim.TickFrame) {
+	steady := s.dp.Steady()
+	servers := s.dp.Servers()
+	for i, f := range frames {
+		o := &s.obs[i]
+		tc := servers[i].Server.TickCount()
+		if steady[i] && o.valid && o.ticks == tc {
+			s.res.VMTicks += o.vmTicks
+			for j, b := range o.bucket {
+				s.res.LatencyHist[b] += o.count[j]
+			}
+			continue
+		}
+		o.valid = false
+		o.vmTicks = 0
+		o.bucket = o.bucket[:0]
+		o.count = o.count[:0]
+		cache := steady[i]
+		for j := 0; j < f.Len(); j++ {
+			if f.Departed(j) {
+				continue
+			}
+			s.res.VMTicks++
+			b := latencyBucket(f.At(j).MeanNs)
+			s.res.LatencyHist[b]++
+			if cache {
+				o.vmTicks++
+				o.addBucket(int32(b))
+			}
+		}
+		o.valid = cache
+		o.ticks = tc
+	}
+}
+
+func (o *steadyObs) addBucket(b int32) {
+	for j, have := range o.bucket {
+		if have == b {
+			o.count[j]++
+			return
+		}
+	}
+	o.bucket = append(o.bucket, b)
+	o.count = append(o.count, 1)
 }
 
 // newShardDataPlane builds the data plane and migration engine over a
@@ -228,6 +297,9 @@ func newShardDataPlane(sh *shard, cfg Config) (*shardDataPlane, error) {
 	dpCfg := core.DefaultDataPlaneConfig()
 	dpCfg.Agent.Policy = cfg.MitigationPolicy
 	dpCfg.Agent.Mode = cfg.MitigationMode
+	// The dense reference core re-simulates every server every tick; the
+	// event core lets provably idle servers skip (core.DataPlane docs).
+	dpCfg.AlwaysTick = cfg.Engine == EngineDense
 	if cfg.DataPlanePoolFrac > 0 {
 		dpCfg.PoolFrac = cfg.DataPlanePoolFrac
 	}
@@ -251,6 +323,10 @@ func newShardDataPlane(sh *shard, cfg Config) (*shardDataPlane, error) {
 	}
 	sdp.dp = dp
 	sdp.eng = eng
+	if cfg.Engine == EngineEvent {
+		sdp.sparse = true
+		sdp.obs = make([]steadyObs, len(servers))
+	}
 	return sdp, nil
 }
 

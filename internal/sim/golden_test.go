@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"github.com/coach-oss/coach/internal/agent"
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/predict"
+	"github.com/coach-oss/coach/internal/scenario"
+	"github.com/coach-oss/coach/internal/scheduler"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// encodeResult gob-serializes a Result. Result has no maps or
+// interfaces, so the encoding is deterministic and byte comparison is
+// exact equality — including every float bit pattern.
+func encodeResult(t *testing.T, r *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenEquivalence is the wall the event-driven core was rebuilt
+// behind: for every scenario preset, the event core's Result must be
+// gob-byte-identical to the dense reference core's, at every worker
+// count, on both the decoupled replay path (plain scheduler replay, no
+// data plane) and the cross-shard-barrier path (data plane + migration
+// mitigation + cross-shard exchange over a multi-cluster fleet). Run
+// under -race in CI, this also races the event core's per-shard state.
+func TestGoldenEquivalence(t *testing.T) {
+	for _, name := range scenario.PresetNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			full, err := scenario.Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := full.Scaled(250, 25)
+			tr, err := trace.GenerateScenario(sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			base := ConfigForPolicy(scheduler.PolicyAggrCoach)
+			base.TrainUpTo = tr.Horizon / 2
+			ltCfg := base.LongTerm
+			ltCfg.Windows = base.Windows
+			ltCfg.Percentile = base.Percentile
+			model, err := predict.TrainLongTerm(tr, base.TrainUpTo, ltCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base.Model = model
+
+			xshard := base
+			xshard.DataPlane = true
+			xshard.MitigationPolicy = agent.PolicyMigrate
+			xshard.CrossShardMigration = true
+			xshard.DataPlanePoolFrac = 0.02
+			xshard.DataPlaneUnallocFrac = 0.02
+
+			variants := []struct {
+				name string
+				cfg  Config
+			}{
+				{"plain", base},
+				{"xshard", xshard},
+			}
+			for _, v := range variants {
+				v := v
+				t.Run(v.name, func(t *testing.T) {
+					fleet := cluster.NewFleet(cluster.DefaultClusters(2))
+					cfg := v.cfg
+					cfg.Engine = EngineDense
+					cfg.Workers = 1
+					dense, err := Run(tr, fleet, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if dense.Requested == 0 || dense.Placed == 0 {
+						t.Fatalf("fixture regression: no work done: %+v", summary(dense))
+					}
+					golden := encodeResult(t, dense)
+					for _, workers := range []int{1, 2, 8} {
+						cfg.Engine = EngineEvent
+						cfg.Workers = workers
+						ev, err := Run(tr, fleet, cfg)
+						if err != nil {
+							t.Fatalf("event workers=%d: %v", workers, err)
+						}
+						if got := encodeResult(t, ev); !bytes.Equal(golden, got) {
+							t.Errorf("event core (workers=%d) diverges from dense core:\n  dense: %+v\n  event: %+v",
+								workers, summary(dense), summary(ev))
+						}
+					}
+				})
+			}
+		})
+	}
+}

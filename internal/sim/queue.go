@@ -1,0 +1,73 @@
+package sim
+
+import "sort"
+
+// eventQueue is a calendar (bucket) queue over trace ticks. The replay
+// horizon is known up front and small (a two-week trace is 4032 samples),
+// so a flat slice of buckets indexed by tick beats a heap: Push is an
+// append, PopDue is a slice swap, and there is no comparison cost at all.
+//
+// Each bucket holds the VM IDs with a pending event at that tick. IDs are
+// unique for the lifetime of a run and never reused, which makes the
+// shard's pos map a perfect stale-event filter: a popped ID that is no
+// longer placed (departed, or emigrated to another shard) is simply
+// skipped, so events never need to be cancelled.
+//
+// Determinism: PopDue returns IDs in ascending order. Combined with
+// shards being stepped in index order and the exchange sorting requests
+// by (Tick, SrcShard, VMID), the fleet-wide event order is the total
+// order (tick, shard, vmID) that PR 5's cross-shard handoff relies on.
+type eventQueue struct {
+	base     int     // tick of buckets[0]
+	buckets  [][]int // buckets[t-base] = VM IDs due at tick t
+	freelist [][]int // recycled bucket slices
+}
+
+func newEventQueue(base, horizon int) *eventQueue {
+	n := horizon - base
+	if n < 0 {
+		n = 0
+	}
+	return &eventQueue{base: base, buckets: make([][]int, n)}
+}
+
+// Push schedules an event for id at tick. Ticks before base or at/after
+// the horizon are dropped: the replay never looks at them.
+func (q *eventQueue) Push(tick, id int) {
+	i := tick - q.base
+	if i < 0 || i >= len(q.buckets) {
+		return
+	}
+	if q.buckets[i] == nil && len(q.freelist) > 0 {
+		q.buckets[i] = q.freelist[len(q.freelist)-1]
+		q.freelist = q.freelist[:len(q.freelist)-1]
+	}
+	q.buckets[i] = append(q.buckets[i], id)
+}
+
+// PopDue appends the IDs due at tick t to dst in ascending order and
+// drains the bucket. The bucket's backing slice is recycled immediately,
+// so callers pass a scratch buffer they own (typically reused across
+// ticks) rather than aliasing queue storage.
+func (q *eventQueue) PopDue(t int, dst []int) []int {
+	i := t - q.base
+	if i < 0 || i >= len(q.buckets) || len(q.buckets[i]) == 0 {
+		return dst
+	}
+	b := q.buckets[i]
+	n := len(dst)
+	dst = append(dst, b...)
+	q.freelist = append(q.freelist, b[:0])
+	q.buckets[i] = nil
+	sort.Ints(dst[n:])
+	return dst
+}
+
+// Len reports the number of pending events (testing helper).
+func (q *eventQueue) Len() int {
+	n := 0
+	for _, b := range q.buckets {
+		n += len(b)
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+func TestEventQueueBasics(t *testing.T) {
+	q := newEventQueue(10, 20)
+	q.Push(12, 7)
+	q.Push(12, 3)
+	q.Push(12, 5)
+	q.Push(15, 1)
+	// Out-of-range ticks are dropped: the replay never visits them.
+	q.Push(9, 99)
+	q.Push(20, 99)
+	q.Push(-1, 99)
+	if n := q.Len(); n != 4 {
+		t.Fatalf("Len = %d, want 4", n)
+	}
+	if got := q.PopDue(11, nil); len(got) != 0 {
+		t.Fatalf("PopDue(11) = %v, want empty", got)
+	}
+	got := q.PopDue(12, nil)
+	want := []int{3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("PopDue(12) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PopDue(12) = %v, want %v (ascending)", got, want)
+		}
+	}
+	// Draining is destructive and the freelist recycles the bucket.
+	if got := q.PopDue(12, nil); len(got) != 0 {
+		t.Fatalf("second PopDue(12) = %v, want empty", got)
+	}
+	q.Push(16, 2) // reuses the recycled bucket slice
+	if got := q.PopDue(15, nil); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("PopDue(15) = %v, want [1]", got)
+	}
+	if got := q.PopDue(16, nil); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("PopDue(16) = %v, want [2]", got)
+	}
+	if n := q.Len(); n != 0 {
+		t.Fatalf("Len after drain = %d, want 0", n)
+	}
+}
+
+// TestEventQueuePopDueAppends pins the scratch-buffer contract: PopDue
+// appends to dst and sorts only the appended region.
+func TestEventQueuePopDueAppends(t *testing.T) {
+	q := newEventQueue(0, 8)
+	q.Push(3, 9)
+	q.Push(3, 4)
+	dst := []int{100}
+	dst = q.PopDue(3, dst)
+	want := []int{100, 4, 9}
+	if len(dst) != len(want) {
+		t.Fatalf("PopDue = %v, want %v", dst, want)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("PopDue = %v, want %v", dst, want)
+		}
+	}
+}
+
+// eventKey is a fleet-wide event identity for the fuzz cross-check.
+type eventKey struct{ tick, shard, vm int }
+
+// keyHeap is the reference priority queue: a plain container/heap over
+// (tick, shard, vmID) — the total order the deterministic cross-shard
+// exchange relies on (requests sorted by (Tick, SrcShard, VMID), shards
+// stepped in index order, PopDue ascending by ID).
+type keyHeap []eventKey
+
+func (h keyHeap) Len() int { return len(h) }
+func (h keyHeap) Less(i, j int) bool {
+	if h[i].tick != h[j].tick {
+		return h[i].tick < h[j].tick
+	}
+	if h[i].shard != h[j].shard {
+		return h[i].shard < h[j].shard
+	}
+	return h[i].vm < h[j].vm
+}
+func (h keyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *keyHeap) Push(x interface{}) { *h = append(*h, x.(eventKey)) }
+func (h *keyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// FuzzEventQueue cross-checks the calendar queue's pop order against a
+// reference container/heap on random (tick, shard, vmID) keys: draining
+// per-shard calendar queues tick-by-tick in shard order must yield
+// exactly the heap's (tick, shard, vmID) order, duplicates included.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{5, 1, 200, 5, 0, 7, 5, 1, 3, 63, 3, 255, 0, 2, 0})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1, 1}) // duplicate keys
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const shards, horizon = 4, 64
+		qs := make([]*eventQueue, shards)
+		for i := range qs {
+			qs[i] = newEventQueue(0, horizon)
+		}
+		ref := &keyHeap{}
+		for ; len(data) >= 3; data = data[3:] {
+			k := eventKey{
+				tick:  int(data[0]) % horizon,
+				shard: int(data[1]) % shards,
+				vm:    int(data[2]),
+			}
+			qs[k.shard].Push(k.tick, k.vm)
+			heap.Push(ref, k)
+		}
+		var scratch []int
+		for tick := 0; tick < horizon; tick++ {
+			for sh := 0; sh < shards; sh++ {
+				scratch = qs[sh].PopDue(tick, scratch[:0])
+				for _, id := range scratch {
+					if ref.Len() == 0 {
+						t.Fatalf("queue popped (%d,%d,%d) but reference heap is empty", tick, sh, id)
+					}
+					want := heap.Pop(ref).(eventKey)
+					got := eventKey{tick: tick, shard: sh, vm: id}
+					if got != want {
+						t.Fatalf("pop order diverged: queue %+v, heap %+v", got, want)
+					}
+				}
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("%d events never popped from the calendar queue", ref.Len())
+		}
+	})
+}

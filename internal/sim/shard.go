@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/coachvm"
@@ -113,14 +114,24 @@ type placedRec struct {
 	// unchanged-sample fast path must not fire (a VM arriving mid-life
 	// can have an unchanged but nonzero sample at its arrival tick).
 	synced bool
+	// changes and nextCh drive the event core: changes is the VM's
+	// utilization change-point list (trace.VM.ChangePoints, computed once
+	// at placement) and nextCh the cursor of the next unscheduled one.
+	// Unused by the dense core.
+	changes []int32
+	nextCh  int
 }
 
 // migRequest pairs a cross-shard migration request with the trace VM it
 // moves, so the destination shard can keep replaying its utilization
-// series and schedule its departure.
+// series and schedule its departure. The change-point cursor rides along
+// so the destination's event queue resumes where the source's left off
+// without recomputing the list.
 type migRequest struct {
 	core.MigrationRequest
-	vm *trace.VM
+	vm      *trace.VM
+	changes []int32
+	nextCh  int
 }
 
 // shardState is one shard's live replay state. It persists across ticks
@@ -157,6 +168,22 @@ type shardState struct {
 	// outbox collects this tick's cross-shard migration requests for the
 	// sample-boundary exchange.
 	outbox []migRequest
+
+	// Event-core state (nil/unused under EngineDense). queue holds one
+	// pending utilization-change event per placed VM; due and slots are
+	// per-tick scratch. Contention is settled incrementally: violCPU /
+	// violMem mirror each server's contended-or-not state with running
+	// counts, and dirty lists the servers whose demand, backing or
+	// population changed this tick and need their flags re-derived.
+	queue     *eventQueue
+	due       []int
+	slots     []int
+	violCPU   []bool
+	violMem   []bool
+	cpuViol   int
+	memViol   int
+	dirty     []int
+	dirtyFlag []bool
 }
 
 // newShardState builds a shard's replay state at the start of the
@@ -187,7 +214,38 @@ func newShardState(sh *shard, tr *trace.Trace, model *predict.LongTerm, cfg Conf
 	for i, srv := range st.servers {
 		st.cpuLimit[i] = cfg.CPUContentionFrac * srv.Server.Capacity()[resources.CPU]
 	}
+	if cfg.Engine == EngineEvent {
+		st.queue = newEventQueue(cfg.TrainUpTo, tr.Horizon)
+		st.violCPU = make([]bool, len(st.servers))
+		st.violMem = make([]bool, len(st.servers))
+		st.dirtyFlag = make([]bool, len(st.servers))
+	}
 	return st, nil
+}
+
+// touchServer marks a server's contention flags stale (event core): its
+// demand, backed capacity or population changed this tick.
+func (st *shardState) touchServer(srv int) {
+	if st.dirtyFlag == nil || st.dirtyFlag[srv] {
+		return
+	}
+	st.dirtyFlag[srv] = true
+	st.dirty = append(st.dirty, srv)
+}
+
+// scheduleNext queues r's next utilization-change event after tick t.
+// The cursor is left on the scheduled change point; when that event fires
+// the advance loop steps past it, so each VM has at most one pending
+// event. Push bounds-checks the horizon, so late change points of VMs
+// outliving the trace drop out naturally.
+func (st *shardState) scheduleNext(r *placedRec, t int) {
+	rel := t - r.vm.Start
+	for r.nextCh < len(r.changes) && int(r.changes[r.nextCh]) <= rel {
+		r.nextCh++
+	}
+	if r.nextCh < len(r.changes) {
+		st.queue.Push(r.vm.Start+int(r.changes[r.nextCh]), r.vm.ID)
+	}
 }
 
 // step replays one evaluation tick t: events, the incremental demand
@@ -251,6 +309,16 @@ func (st *shardState) step(t int) error {
 		st.vmCount[srv]++
 		st.pos[ev.vm.ID] = len(st.recs)
 		st.recs = append(st.recs, placedRec{vm: ev.vm, srv: srv})
+		if st.queue != nil {
+			// The event core applies the new record's demand this tick via
+			// its slot; scheduleNext (in the delta pass) queues the rest of
+			// its life. Slots appended here stay valid: within a tick all
+			// removals sort before placements, so nothing swap-removes
+			// after this point.
+			st.recs[len(st.recs)-1].changes = ev.vm.ChangePoints()
+			st.slots = append(st.slots, len(st.recs)-1)
+			st.touchServer(srv)
+		}
 		if st.sdp != nil && st.sdp.dp != nil {
 			err := st.sdp.dp.Attach(srv, ev.vm.ID,
 				cvm.Alloc[resources.Memory], cvm.Guaranteed[resources.Memory])
@@ -264,9 +332,32 @@ func (st *shardState) step(t int) error {
 		}
 	}
 
-	// Delta pass: fold each placed VM's demand change into its server's
-	// running total. The same change drives the VM's working set on the
-	// data plane, so WSS updates ride the delta fast path.
+	if st.queue != nil {
+		st.eventDeltaPass(t)
+	} else {
+		st.denseDeltaPass(t)
+	}
+
+	if st.sdp != nil {
+		if err := st.dataPlaneTick(t - st.cfg.TrainUpTo); err != nil {
+			return err
+		}
+	}
+
+	st.sr.usedByTick[t-st.cfg.TrainUpTo] = st.used
+	if st.queue != nil {
+		st.settleContention()
+	} else {
+		st.denseContention()
+	}
+	return nil
+}
+
+// denseDeltaPass is the reference demand pass: visit every placed VM,
+// fold in its demand change if this tick's utilization sample differs.
+// The same change drives the VM's working set on the data plane, so WSS
+// updates ride the delta fast path.
+func (st *shardState) denseDeltaPass(t int) {
 	for i := range st.recs {
 		r := &st.recs[i]
 		if r.synced && utilUnchanged(r.vm, t) {
@@ -282,14 +373,55 @@ func (st *shardState) step(t int) error {
 		}
 		r.synced = true
 	}
+	if st.cfg.VisitCounter != nil {
+		atomic.AddInt64(st.cfg.VisitCounter, int64(len(st.recs)))
+	}
+}
 
-	if st.sdp != nil {
-		if err := st.dataPlaneTick(t - st.cfg.TrainUpTo); err != nil {
-			return err
+// eventDeltaPass is the event core's demand pass: only VMs with a
+// pending change event (popped from the calendar queue) or placed this
+// tick are visited. Slots are applied in ascending order — the same
+// order the dense pass walks st.recs — and with the same cur != last
+// guard, so the float accumulation into st.demand is bit-identical:
+// every slot the dense pass would have updated has a change point here
+// (utilUnchanged ⇔ no change point at this offset), and spurious events
+// for unchanged demand no-op on the guard.
+func (st *shardState) eventDeltaPass(t int) {
+	st.due = st.queue.PopDue(t, st.due[:0])
+	for _, id := range st.due {
+		// A popped ID missing from pos is a stale event: the VM departed
+		// or emigrated to another shard. IDs are never reused, so the map
+		// lookup is a complete filter and events need no cancellation.
+		if p, ok := st.pos[id]; ok {
+			st.slots = append(st.slots, p)
 		}
 	}
+	// st.slots already holds this tick's new placements (disjoint from
+	// popped IDs — a VM's first event is only queued at placement).
+	sort.Ints(st.slots)
+	for _, si := range st.slots {
+		r := &st.recs[si]
+		cur := r.vm.DemandAt(t)
+		if cur != r.last {
+			st.demand[r.srv] = st.demand[r.srv].Add(cur.Sub(r.last))
+			r.last = cur
+			st.touchServer(r.srv)
+			if st.sdp != nil && st.sdp.dp != nil {
+				st.sdp.dp.SetWSS(r.vm.ID, cur[resources.Memory])
+			}
+		}
+		r.synced = true
+		st.scheduleNext(r, t)
+	}
+	if st.cfg.VisitCounter != nil {
+		atomic.AddInt64(st.cfg.VisitCounter, int64(len(st.slots)))
+	}
+	st.slots = st.slots[:0]
+}
 
-	st.sr.usedByTick[t-st.cfg.TrainUpTo] = st.used
+// denseContention is the reference per-tick contention accounting: scan
+// every server.
+func (st *shardState) denseContention() {
 	for i := range st.servers {
 		if st.vmCount[i] == 0 {
 			continue
@@ -304,7 +436,42 @@ func (st *shardState) step(t int) error {
 			st.sr.memViolations++
 		}
 	}
-	return nil
+}
+
+// settleContention is the event core's contention accounting: servers
+// whose demand, backed capacity or population changed this tick were
+// marked dirty; re-derive just their contended/not flags and keep
+// running counts. An untouched server's inputs are all unchanged —
+// every mutation path (delta, placement, removal, migration landing,
+// exchange) marks the server — so its flags from the previous tick
+// still hold and the counts equal the dense scan's.
+func (st *shardState) settleContention() {
+	for _, i := range st.dirty {
+		st.dirtyFlag[i] = false
+		occupied := st.vmCount[i] > 0
+		cpu := occupied && st.demand[i][resources.CPU] > st.cpuLimit[i]
+		mem := occupied && st.demand[i][resources.Memory] > st.servers[i].Pool.Backed()[resources.Memory]+1e-9
+		if cpu != st.violCPU[i] {
+			st.violCPU[i] = cpu
+			if cpu {
+				st.cpuViol++
+			} else {
+				st.cpuViol--
+			}
+		}
+		if mem != st.violMem[i] {
+			st.violMem[i] = mem
+			if mem {
+				st.memViol++
+			} else {
+				st.memViol--
+			}
+		}
+	}
+	st.dirty = st.dirty[:0]
+	st.sr.serverTicks += st.used
+	st.sr.cpuViolations += st.cpuViol
+	st.sr.memViolations += st.memViol
 }
 
 // dataPlaneTick advances the shard's servers one sample and resolves
@@ -321,7 +488,11 @@ func (st *shardState) dataPlaneTick(t int) error {
 	if err != nil {
 		return err
 	}
-	s.res.observe(frames)
+	if s.sparse {
+		s.observeSparse(frames)
+	} else {
+		s.res.observe(frames)
+	}
 	plans, reqs, err := s.eng.Resolve(t, completed)
 	if err != nil {
 		return err
@@ -330,7 +501,13 @@ func (st *shardState) dataPlaneTick(t int) error {
 		st.applyPlan(p)
 	}
 	for _, r := range reqs {
-		st.outbox = append(st.outbox, migRequest{MigrationRequest: r, vm: st.recs[st.pos[r.VMID]].vm})
+		rec := &st.recs[st.pos[r.VMID]]
+		st.outbox = append(st.outbox, migRequest{
+			MigrationRequest: r,
+			vm:               rec.vm,
+			changes:          rec.changes,
+			nextCh:           rec.nextCh,
+		})
 	}
 	s.res.mark(t, s.dp.Counters())
 	return nil
@@ -361,6 +538,8 @@ func (st *shardState) applyPlan(p core.MigrationPlan) {
 	st.vmCount[p.To]++
 	st.demand[p.To] = st.demand[p.To].Add(r.last)
 	r.srv = p.To
+	st.touchServer(p.From)
+	st.touchServer(p.To)
 }
 
 // removeTracked drops a VM from the incremental accounting (and, when
@@ -383,6 +562,7 @@ func (st *shardState) removeTracked(vmID int, detachMemory bool) bool {
 		// and subtracts.
 		st.demand[r.srv] = st.zero
 	}
+	st.touchServer(r.srv)
 	last := len(st.recs) - 1
 	st.recs[p] = st.recs[last]
 	st.pos[st.recs[p].vm.ID] = p
@@ -401,8 +581,19 @@ func (st *shardState) addImmigrated(rq migRequest, server int) {
 	}
 	st.vmCount[server]++
 	st.pos[rq.VMID] = len(st.recs)
-	st.recs = append(st.recs, placedRec{vm: rq.vm, srv: server})
+	st.recs = append(st.recs, placedRec{
+		vm: rq.vm, srv: server,
+		changes: rq.changes, nextCh: rq.nextCh,
+	})
 	st.insertExtra(event{sample: rq.vm.End, arrival: false, vm: rq.vm})
+	if st.queue != nil {
+		// Re-sync on the very next tick — the dense core's unsynced
+		// record is picked up by its next full pass; the event core gets
+		// the same effect from an explicit event. The fired event's
+		// scheduleNext then resumes the carried change-point cursor.
+		st.queue.Push(rq.Tick+st.cfg.TrainUpTo+1, rq.VMID)
+		st.touchServer(server)
+	}
 }
 
 // insertExtra queues a migration-injected event, keeping the pending

@@ -106,10 +106,59 @@ type Config struct {
 	// half the spec's horizon. When both a trace and a Scenario are
 	// given, the trace wins — the Scenario is assumed to be its source.
 	Scenario *scenario.Spec
+	// Engine selects the replay core. EngineEvent (the zero value)
+	// drives each shard from a calendar queue of per-VM utilization
+	// change events and skips steady data-plane servers; EngineDense is
+	// the reference loop that visits every placed VM and ticks every
+	// server each sample. Both produce byte-identical Results — the
+	// golden-equivalence tests pin this. See docs/DESIGN.md §12.
+	Engine EngineKind
+	// VisitCounter, when non-nil, is incremented atomically with the
+	// number of placed-VM records each shard tick visits. Benchmarks use
+	// it as the machine-independent work metric: the event core's count
+	// scales with demand changes, the dense core's with population.
+	VisitCounter *int64
 
 	// shards is the fleet's shard count, recorded by Run for the
 	// per-shard engine construction.
 	shards int
+}
+
+// EngineKind selects the simulator replay core.
+type EngineKind int
+
+const (
+	// EngineEvent is the event-driven core: a per-shard calendar queue
+	// schedules one event per VM utilization change point, each tick
+	// touches only due VMs, and provably idle data-plane servers reuse
+	// their last tick's frame instead of re-simulating.
+	EngineEvent EngineKind = iota
+	// EngineDense is the reference core: every placed VM is visited and
+	// every server fully ticked each sample.
+	EngineDense
+)
+
+func (e EngineKind) String() string {
+	switch e {
+	case EngineEvent:
+		return "event"
+	case EngineDense:
+		return "dense"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(e))
+	}
+}
+
+// ParseEngine converts a string flag into an EngineKind.
+func ParseEngine(s string) (EngineKind, error) {
+	switch s {
+	case "event":
+		return EngineEvent, nil
+	case "dense":
+		return EngineDense, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown engine %q (event|dense)", s)
+	}
 }
 
 // DefaultConfig returns the Coach policy configuration.

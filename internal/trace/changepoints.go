@@ -1,0 +1,38 @@
+package trace
+
+import "github.com/coach-oss/coach/internal/resources"
+
+// ChangePoints returns the sample offsets i in [1, DurationSamples) at
+// which any resource kind's utilization sample differs from the previous
+// one — exactly the ticks where the VM's demand vector can change. The
+// event-driven simulator core schedules one delta event per offset
+// instead of visiting the VM every tick; between consecutive offsets the
+// demand series is constant, so skipping those ticks is bit-identical to
+// replaying them.
+//
+// Samples outside a series' recorded range read as zero (matching
+// VM.UtilAt), so a series shorter than the lifetime contributes one final
+// change point where it falls off to zero. Offsets fit int32 (a two-week
+// trace has 4032 samples); the compact width matters when the replay
+// core keeps a list per placed VM at fleet scale.
+func (vm *VM) ChangePoints() []int32 {
+	n := vm.DurationSamples()
+	var out []int32
+	for i := 1; i < n; i++ {
+		for _, k := range resources.Kinds {
+			s := vm.Util[k]
+			var prev, cur float64
+			if i-1 < len(s) {
+				prev = s[i-1]
+			}
+			if i < len(s) {
+				cur = s[i]
+			}
+			if cur != prev {
+				out = append(out, int32(i))
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/timeseries"
+)
+
+func TestChangePoints(t *testing.T) {
+	vm := &VM{Start: 10, End: 16}
+	// CPU changes at offsets 2 and 4; memory changes at offsets 2 and 5.
+	vm.Util[resources.CPU] = timeseries.Series{0.3, 0.3, 0.5, 0.5, 0.2, 0.2}
+	vm.Util[resources.Memory] = timeseries.Series{0.1, 0.1, 0.4, 0.4, 0.4, 0.6}
+	got := vm.ChangePoints()
+	want := []int32{2, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ChangePoints = %v, want %v", got, want)
+	}
+
+	flat := &VM{Start: 0, End: 4}
+	flat.Util[resources.CPU] = timeseries.Series{0.5, 0.5, 0.5, 0.5}
+	flat.Util[resources.Memory] = timeseries.Series{0.2, 0.2, 0.2, 0.2}
+	if got := flat.ChangePoints(); got != nil {
+		t.Errorf("flat series ChangePoints = %v, want nil", got)
+	}
+
+	// A series shorter than the lifetime reads as zero past its end
+	// (UtilAt's contract), so the fall-off is one final change point.
+	short := &VM{Start: 0, End: 6}
+	short.Util[resources.CPU] = timeseries.Series{0.5, 0.5, 0.5}
+	if got, want := short.ChangePoints(), []int32{3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("short series ChangePoints = %v, want %v", got, want)
+	}
+}
+
+// TestChangePointsMatchUtilUnchanged pins the contract the event core's
+// equivalence rests on: over generated VMs, offset i (0 < i < lifetime)
+// is a change point exactly when the utilization vector at Start+i
+// differs from the one at Start+i-1.
+func TestChangePointsMatchUtilUnchanged(t *testing.T) {
+	tr := getTrace(t)
+	checked := 0
+	for i := range tr.VMs {
+		if i%7 != 0 { // sample the population; full sweep is slow
+			continue
+		}
+		vm := &tr.VMs[i]
+		cps := vm.ChangePoints()
+		isCP := make(map[int]bool, len(cps))
+		for _, c := range cps {
+			isCP[int(c)] = true
+		}
+		for off := 1; off < vm.DurationSamples(); off++ {
+			changed := false
+			for _, k := range resources.Kinds {
+				if vm.UtilAt(k, vm.Start+off) != vm.UtilAt(k, vm.Start+off-1) {
+					changed = true
+					break
+				}
+			}
+			if changed != isCP[off] {
+				t.Fatalf("vm %d offset %d: changed=%v but change point=%v", vm.ID, off, changed, isCP[off])
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no offsets checked")
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -155,7 +156,30 @@ func generateScenarioVM(spec *scenario.Spec, tr *Trace, id, ci, start int, rng *
 		ampAt = func(t int) float64 { return spec.UtilMultAt(ci, t) }
 	}
 	synthesizeShaped(&vm, tr, &Archetypes[sub.Archetype], ws, ampAt, rng)
+	if spec.UtilQuantum > 0 {
+		quantizeUtil(&vm, spec.UtilQuantum)
+	}
 	return vm
+}
+
+// quantizeUtil snaps every utilization sample to the nearest multiple of
+// q, clamped to [0,1]. The synthesizer's per-sample noise then collapses
+// into runs of identical samples: demand changes only at genuine level
+// shifts, which is both how coarse production telemetry looks and what
+// gives the event-driven replay core change points to skip between.
+func quantizeUtil(vm *VM, q float64) {
+	for k := range vm.Util {
+		s := vm.Util[k]
+		for i, x := range s {
+			v := math.Round(x/q) * q
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			s[i] = v
+		}
+	}
 }
 
 // scenarioConfig picks a VM configuration index under the class's size

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"github.com/coach-oss/coach/internal/scenario"
@@ -142,5 +143,60 @@ func TestGenerateScenarioWorkingSetCentersMemory(t *testing.T) {
 	hot, cold := mem[0]/float64(n[0]), mem[1]/float64(n[1])
 	if hot < cold+0.15 {
 		t.Errorf("hot mean memory %.2f not clearly above cold %.2f", hot, cold)
+	}
+}
+
+// TestGenerateScenarioQuantizedSparsity pins the sparse-churn contract:
+// with util-quantum set, every generated sample is a quantum multiple,
+// and the per-VM change-point density collapses — the property the
+// event-driven simulator core's visit advantage is built on. An
+// unquantized preset (capacity) stays dense by comparison.
+func TestGenerateScenarioQuantizedSparsity(t *testing.T) {
+	density := func(name string) float64 {
+		tr, err := GenerateScenario(miniSpec(t, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		changes, samples := 0, 0
+		for i := range tr.VMs {
+			vm := &tr.VMs[i]
+			changes += len(vm.ChangePoints())
+			samples += vm.DurationSamples()
+		}
+		if samples == 0 {
+			t.Fatalf("%s: no samples", name)
+		}
+		return float64(changes) / float64(samples)
+	}
+
+	sp := miniSpec(t, "sparse-churn")
+	q := sp.UtilQuantum
+	if q <= 0 {
+		t.Fatal("sparse-churn preset must set util-quantum")
+	}
+	tr, err := GenerateScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		for k := range vm.Util {
+			for _, x := range vm.Util[k] {
+				if snapped := math.Round(x/q) * q; x != snapped && !(x == 0 || x == 1) {
+					t.Fatalf("vm %d sample %v is not a multiple of quantum %v", vm.ID, x, q)
+				}
+			}
+		}
+	}
+
+	sparse, dense := density("sparse-churn"), density("capacity")
+	if sparse > 0.5 {
+		t.Errorf("sparse-churn change density %.3f, want well under 0.5", sparse)
+	}
+	if dense < 0.9 {
+		t.Errorf("capacity change density %.3f, want ~1 (fixture drift?)", dense)
+	}
+	if sparse > dense/5 {
+		t.Errorf("sparse-churn density %.3f not ≥5x sparser than capacity %.3f", sparse, dense)
 	}
 }
