@@ -116,6 +116,13 @@ func BenchmarkAblationFleetMitigation(b *testing.B) { benchExperiment(b, "abl-fl
 // engine are recorded in BENCH_migration.json.
 func BenchmarkFleetMigration(b *testing.B) { benchExperiment(b, "abl-fleetmig") }
 
+// BenchmarkAblationFaults regenerates the abl-faults ladders (None vs
+// Coach vs Coach+Recovery under the chaos fault schedule, docs/
+// DESIGN.md §13), so bench-smoke drives the failure-domain engine —
+// crash eviction, recovery placement, downtime attribution — on every
+// push; loss/downtime deltas are recorded in BENCH_faults.json.
+func BenchmarkAblationFaults(b *testing.B) { benchExperiment(b, "abl-faults") }
+
 // BenchmarkSimRunParallel measures the sharded cluster-simulation engine
 // (docs/DESIGN.md §6) at 1/2/4/8 workers on the small-scale trace. The
 // predictor is trained once outside the timed region so the benchmark

@@ -9,9 +9,19 @@
 //	              [-requests 2000] [-admit-frac 0.25] [-vms 500] [-seed 1]
 //	              [-scenario NAME|spec.txt] [-scale small|medium|full]
 //	              [-speedup 3600] [-from-day -1] [-replay-days 1]
+//	              [-timeout 10s] [-retries 3] [-retry-backoff 100ms]
 //
 // -vms must match the served trace's VM population (coachd -scale small
 // serves 500 VMs); unknown ids count as errors.
+//
+// Every request carries a -timeout deadline, and transient failures —
+// transport errors, timeouts and 5xx responses that are not definitive
+// rejections — are retried up to -retries times with jittered
+// exponential backoff, honoring the server's Retry-After header. A 503
+// admit rejection with a parseable body (capacity or pool pressure) is
+// the server's definitive answer and counts as rejected, not failed.
+// When any request still fails after retries, loadgen prints a breakdown
+// by error class (timeout, transport, http-5xx) and exits non-zero.
 //
 // With -scenario, loadgen switches to scenario replay: it regenerates
 // the same trace a coachd started with the same -scenario and -scale is
@@ -32,13 +42,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,13 +74,17 @@ func main() {
 	speedup := flag.Float64("speedup", 3600, "trace-time compression for scenario replay (3600 = 1 trace hour per second)")
 	fromDay := flag.Int("from-day", -1, "first trace day to replay (-1 = the trace midpoint, where training ends)")
 	replayDays := flag.Int("replay-days", 1, "number of trace days to replay")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	retries := flag.Int("retries", 3, "retry attempts for transient failures (transport errors, timeouts, non-definitive 5xx)")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base retry backoff (doubled per attempt, jittered, capped by Retry-After when the server sends one)")
 	flag.Parse()
 
+	hc := newHTTPClient(*timeout, *retries, *retryBackoff, *seed)
 	var err error
 	if *scenarioFlag != "" {
-		err = replay(*addr, *scenarioFlag, *scale, *fromDay, *replayDays, *speedup, *clients)
+		err = replay(hc, *addr, *scenarioFlag, *scale, *fromDay, *replayDays, *speedup, *clients)
 	} else {
-		err = run(*addr, *clients, *requests, *admitFrac, *vms, *seed)
+		err = run(hc, *addr, *clients, *requests, *admitFrac, *vms, *seed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coach-loadgen:", err)
@@ -75,9 +92,127 @@ func main() {
 	}
 }
 
+// httpClient wraps the shared HTTP client with the retry policy: every
+// request carries the configured deadline, and transient failures back
+// off exponentially with jitter, honoring Retry-After.
+type httpClient struct {
+	c       *http.Client
+	retries int
+	backoff time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newHTTPClient(timeout time.Duration, retries int, backoff time.Duration, seed int64) *httpClient {
+	return &httpClient{
+		c:       &http.Client{Timeout: timeout},
+		retries: retries,
+		backoff: backoff,
+		rng:     rand.New(rand.NewSource(seed ^ 0x10ad9e4)),
+	}
+}
+
+// jitter scales d by a uniform factor in [0.5, 1.5) so synchronized
+// clients do not retry in lockstep.
+func (hc *httpClient) jitter(d time.Duration) time.Duration {
+	hc.mu.Lock()
+	f := 0.5 + hc.rng.Float64()
+	hc.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// post issues one POST with the retry policy and returns the final
+// status code and response body. definitive reports whether a non-2xx
+// response is the server's final answer (no point retrying): admit
+// rejections carry a parseable AdmitResponse body even at 503.
+func (hc *httpClient) post(url, body string) (code int, respBody []byte, err error) {
+	for attempt := 0; ; attempt++ {
+		var resp *http.Response
+		resp, err = hc.c.Post(url, "application/json", bytes.NewReader([]byte(body)))
+		var retryAfter time.Duration
+		if err == nil {
+			respBody, _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			code = resp.StatusCode
+			if code < 500 {
+				return code, respBody, nil
+			}
+			if code == http.StatusServiceUnavailable && definitiveAdmitReject(respBody) {
+				// The server decided: the fleet cannot take this VM now.
+				// Retry-After is advice for a client that wants in later;
+				// a load generator's schedule moves on.
+				return code, respBody, nil
+			}
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
+					retryAfter = time.Duration(secs) * time.Second
+				}
+			}
+		}
+		if attempt >= hc.retries {
+			return code, respBody, err
+		}
+		d := hc.jitter(hc.backoff << attempt)
+		if retryAfter > 0 && retryAfter < d {
+			d = retryAfter
+		}
+		time.Sleep(d)
+	}
+}
+
+// definitiveAdmitReject reports whether a 503 body is a parseable admit
+// rejection — the server's final word rather than a transient outage.
+func definitiveAdmitReject(body []byte) bool {
+	var ar serve.AdmitResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		return false
+	}
+	return !ar.Admitted && ar.Reason != ""
+}
+
+// errClasses breaks ultimate failures (after retries) down by cause.
+type errClasses struct {
+	timeout   int
+	transport int
+	http5xx   int
+}
+
+func (e *errClasses) total() int { return e.timeout + e.transport + e.http5xx }
+
+func (e *errClasses) String() string {
+	return fmt.Sprintf("timeout=%d transport=%d http-5xx=%d", e.timeout, e.transport, e.http5xx)
+}
+
+// add merges o into e.
+func (e *errClasses) add(o errClasses) {
+	e.timeout += o.timeout
+	e.transport += o.transport
+	e.http5xx += o.http5xx
+}
+
+// classify records a request's final outcome, returning true when it is
+// a failure.
+func (e *errClasses) classify(err error, code int) bool {
+	switch {
+	case err != nil:
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			e.timeout++
+		} else {
+			e.transport++
+		}
+		return true
+	case code >= 500:
+		e.http5xx++
+		return true
+	}
+	return false
+}
+
 // replay regenerates the scenario's trace and replays one window of its
 // arrival/departure schedule against the server.
-func replay(addr, scen, scaleName string, fromDay, replayDays int, speedup float64, clients int) error {
+func replay(hc *httpClient, addr, scen, scaleName string, fromDay, replayDays int, speedup float64, clients int) error {
 	if clients < 1 {
 		return fmt.Errorf("clients must be positive")
 	}
@@ -115,7 +250,8 @@ func replay(addr, scen, scaleName string, fromDay, replayDays int, speedup float
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var lat []float64
-	var placed, rejected, releases, errors int
+	var placed, rejected, releases int
+	var ec errClasses
 	start := time.Now()
 	for _, ev := range evs {
 		if d := ev.At - time.Since(start); d > 0 {
@@ -129,33 +265,35 @@ func replay(addr, scen, scaleName string, fromDay, replayDays int, speedup float
 			body := fmt.Sprintf(`{"vm": %d}`, ev.VM)
 			t0 := time.Now()
 			if ev.Admit {
-				var resp serve.AdmitResponse
-				code, err := postJSON(addr+"/v1/admit", body, &resp)
+				code, respBody, err := hc.post(addr+"/v1/admit", body)
 				d := time.Since(t0).Seconds()
+				var resp serve.AdmitResponse
+				parsed := err == nil && json.Unmarshal(respBody, &resp) == nil
 				mu.Lock()
 				defer mu.Unlock()
 				lat = append(lat, d)
 				switch {
-				case err != nil || code >= 500:
-					errors++
-				case code == http.StatusOK && resp.Admitted:
+				case parsed && code == http.StatusOK && resp.Admitted:
 					placed++
-				case code == http.StatusOK:
+				case parsed && !resp.Admitted && resp.Reason != "":
+					// A definitive rejection — capacity, pool pressure —
+					// whether served as 200 or 503: expected behaviour
+					// under load, not a failure.
 					rejected++
+				default:
+					ec.classify(err, code)
 				}
 				return
 			}
 			// Releasing a VM the server rejected on admit answers 409;
 			// that is schedule skew, not failure.
-			code, err := post(addr+"/v1/release", body)
+			code, _, err := hc.post(addr+"/v1/release", body)
 			d := time.Since(t0).Seconds()
 			mu.Lock()
 			defer mu.Unlock()
 			lat = append(lat, d)
 			releases++
-			if err != nil || code >= 500 {
-				errors++
-			}
+			ec.classify(err, code)
 		}(ev)
 	}
 	wg.Wait()
@@ -163,7 +301,7 @@ func replay(addr, scen, scaleName string, fromDay, replayDays int, speedup float
 
 	sort.Float64s(lat)
 	fmt.Printf("events=%d placed=%d rejected=%d released=%d errors=%d  wall=%s  %.1f req/s\n",
-		len(lat), placed, rejected, releases, errors,
+		len(lat), placed, rejected, releases, ec.total(),
 		wall.Round(time.Millisecond), float64(len(lat))/wall.Seconds())
 	if n := len(lat); n > 0 {
 		fmt.Printf("latency: p50=%s p95=%s p99=%s max=%s\n",
@@ -179,9 +317,14 @@ func replay(addr, scen, scaleName string, fromDay, replayDays int, speedup float
 		}
 		fmt.Printf("server:  placed=%d released=%d rejected=%d batches=%d mean-size=%.1f\n",
 			st.Placed, srvReleased, srvRejected, st.Batch.Batches, st.Batch.MeanSize)
+		if st.DataPlane.Crashes > 0 || st.DataPlane.LostVMs > 0 {
+			fmt.Printf("faults:  crashes=%d recoveries=%d evicted=%d replaced=%d lost=%d\n",
+				st.DataPlane.Crashes, st.DataPlane.Recoveries, st.DataPlane.EvictedVMs,
+				st.DataPlane.ReplacedVMs, st.DataPlane.LostVMs)
+		}
 	}
-	if errors > 0 {
-		return fmt.Errorf("%d requests failed", errors)
+	if ec.total() > 0 {
+		return fmt.Errorf("%d requests failed after retries (%s)", ec.total(), &ec)
 	}
 	return nil
 }
@@ -189,10 +332,10 @@ func replay(addr, scen, scaleName string, fromDay, replayDays int, speedup float
 // result collects one client's measurements.
 type result struct {
 	latencies []float64 // seconds
-	errors    int
+	errs      errClasses
 }
 
-func run(addr string, clients, requests int, admitFrac float64, vms int, seed int64) error {
+func run(hc *httpClient, addr string, clients, requests int, admitFrac float64, vms int, seed int64) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("clients and requests must be positive")
 	}
@@ -211,22 +354,22 @@ func run(addr string, clients, requests int, admitFrac float64, vms int, seed in
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			results[c] = client(addr, perClient, admitFrac, vms, seed+int64(c))
+			results[c] = client(hc, addr, perClient, admitFrac, vms, seed+int64(c))
 		}(c)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
 	var all []float64
-	errors := 0
+	var ec errClasses
 	for _, r := range results {
 		all = append(all, r.latencies...)
-		errors += r.errors
+		ec.add(r.errs)
 	}
 	sort.Float64s(all)
 	total := len(all)
 	fmt.Printf("clients=%d requests=%d errors=%d  wall=%s  %.1f req/s\n",
-		clients, total, errors, wall.Round(time.Millisecond), float64(total)/wall.Seconds())
+		clients, total, ec.total(), wall.Round(time.Millisecond), float64(total)/wall.Seconds())
 	if total > 0 {
 		fmt.Printf("latency: p50=%s p95=%s p99=%s max=%s\n",
 			dur(stats.PercentileSorted(all, 50)), dur(stats.PercentileSorted(all, 95)),
@@ -238,14 +381,14 @@ func run(addr string, clients, requests int, admitFrac float64, vms int, seed in
 		fmt.Printf("server:  batches=%d mean-size=%.1f cache hits/misses=%d/%d\n",
 			st.Batch.Batches, st.Batch.MeanSize, st.Cache.Hits, st.Cache.Misses)
 	}
-	if errors > 0 {
-		return fmt.Errorf("%d requests failed", errors)
+	if ec.total() > 0 {
+		return fmt.Errorf("%d requests failed after retries (%s)", ec.total(), &ec)
 	}
 	return nil
 }
 
 // client issues n requests against the service, timing each round trip.
-func client(addr string, n int, admitFrac float64, vms int, seed int64) result {
+func client(hc *httpClient, addr string, n int, admitFrac float64, vms int, seed int64) result {
 	rng := rand.New(rand.NewSource(seed))
 	var res result
 	for i := 0; i < n; i++ {
@@ -255,51 +398,34 @@ func client(addr string, n int, admitFrac float64, vms int, seed int64) result {
 			// Admit then immediately release, so the fleet does not fill
 			// up over a long run and every admit exercises placement.
 			t0 := time.Now()
-			code, err := post(addr+"/v1/admit", body)
+			code, respBody, err := hc.post(addr+"/v1/admit", body)
 			res.latencies = append(res.latencies, time.Since(t0).Seconds())
-			// 409 (already admitted by a colliding client) is contention,
-			// not failure; only transport and 5xx errors count.
-			if err != nil || code >= 500 {
-				res.errors++
+			// 409 (already admitted by a colliding client) is contention
+			// and a definitive 503 rejection is expected under load; only
+			// transport errors, timeouts and other 5xx count.
+			if code == http.StatusServiceUnavailable && definitiveAdmitReject(respBody) {
+				continue
+			}
+			if res.errs.classify(err, code) {
 				continue
 			}
 			if code == http.StatusOK {
-				if _, err := post(addr+"/v1/release", body); err != nil {
-					res.errors++
+				if _, _, err := hc.post(addr+"/v1/release", body); err != nil {
+					res.errs.classify(err, 0)
 				}
 			}
 			continue
 		}
 		t0 := time.Now()
-		code, err := post(addr+"/v1/predict", body)
+		code, _, err := hc.post(addr+"/v1/predict", body)
 		res.latencies = append(res.latencies, time.Since(t0).Seconds())
-		if err != nil || code != http.StatusOK {
-			res.errors++
+		if !res.errs.classify(err, code) && code != http.StatusOK {
+			// Unexpected non-200 on predict (404/405/...): misconfigured
+			// run — surface it as a transport-class failure.
+			res.errs.transport++
 		}
 	}
 	return res
-}
-
-func postJSON(url, body string, v any) (int, error) {
-	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		return resp.StatusCode, err
-	}
-	return resp.StatusCode, nil
-}
-
-func post(url, body string) (int, error) {
-	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
 }
 
 func check(url string) error {

@@ -9,7 +9,7 @@
 //	coachd [-addr :8080] [-scale small|medium|full] [-scenario NAME|spec.txt]
 //	       [-servers N] [-policy none|single|coach|aggrcoach]
 //	       [-batch-max N] [-batch-wait D] [-no-batch] [-lazy-train]
-//	       [-train-workers N]
+//	       [-train-workers N] [-drain-timeout 10s]
 //	       [-data-plane] [-mitigation None|Trim|Extend|Migrate]
 //	       [-mitigation-mode Reactive|Proactive] [-dp-interval 2s]
 //	       [-dp-pool-frac 0] [-cross-shard=true] [-admit-pressure 0]
@@ -39,9 +39,17 @@
 // thrashing. GET /v1/stats reports the fleet-wide aggregates
 // (docs/api.md).
 //
+// A scenario with a faults: section (docs/scenarios.md) compiles into a
+// deterministic fault schedule — the same schedule the simulator applies
+// for that spec — and requires -data-plane for the server crash/recover
+// events to fire (they apply on data-plane ticks). Training failure,
+// injected or real, leaves coachd serving degraded: admissions fall back
+// to fully-guaranteed best-fit, predictions answer 503 with Retry-After,
+// and /readyz reports not-ready (docs/DESIGN.md §13).
+//
 // Endpoints (full schemas and curl examples in docs/api.md):
 //
-//	GET  /healthz     GET  /v1/stats
+//	GET  /healthz     GET  /readyz    GET  /v1/stats
 //	POST /v1/predict  POST /v1/admit  POST /v1/release  POST /v1/report
 package main
 
@@ -61,6 +69,7 @@ import (
 	"github.com/coach-oss/coach/internal/agent"
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/experiments"
+	"github.com/coach-oss/coach/internal/fault"
 	"github.com/coach-oss/coach/internal/scenario"
 	"github.com/coach-oss/coach/internal/scheduler"
 	"github.com/coach-oss/coach/internal/serve"
@@ -85,6 +94,7 @@ func main() {
 	dpPoolFrac := flag.Float64("dp-pool-frac", 0, "oversubscribed pool as a fraction of server memory (0 = default 25%)")
 	crossShard := flag.Bool("cross-shard", true, "let completed live migrations hand off to other cluster shards (requires -data-plane)")
 	admitPressure := flag.Float64("admit-pressure", 0, "pressure-aware admission: reject or re-route oversubscribed VMs whose scheduled VA demand would push a pool past this occupancy (0 = off)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGINT/SIGTERM before forcing shutdown")
 	flag.Parse()
 
 	opts := options{
@@ -94,6 +104,7 @@ func main() {
 		dataPlane: *dataPlane, mitigation: *mitigation,
 		mitigationMode: *mitigationMode, dpInterval: *dpInterval,
 		dpPoolFrac: *dpPoolFrac, crossShard: *crossShard, admitPressure: *admitPressure,
+		drainTimeout: *drainTimeout,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "coachd:", err)
@@ -120,6 +131,7 @@ type options struct {
 	dpPoolFrac     float64
 	crossShard     bool
 	admitPressure  float64
+	drainTimeout   time.Duration
 }
 
 func run(o options) error {
@@ -133,13 +145,15 @@ func run(o options) error {
 	}
 
 	var tr *trace.Trace
+	var sp *scenario.Spec
 	if o.scenario != "" {
-		sp, err := scenario.Load(o.scenario)
+		loaded, err := scenario.Load(o.scenario)
 		if err != nil {
 			return err
 		}
+		sp = sc.ScenarioSpec(loaded)
 		log.Printf("generating %s-scale trace from scenario %q", sc, sp.Name)
-		if tr, err = trace.GenerateScenario(sc.ScenarioSpec(sp)); err != nil {
+		if tr, err = trace.GenerateScenario(sp); err != nil {
 			return err
 		}
 	} else {
@@ -176,6 +190,27 @@ func run(o options) error {
 		cfg.CrossShardMigration = o.crossShard
 		cfg.AdmitPressureFrac = o.admitPressure
 	}
+	if sp != nil && len(sp.Faults) > 0 {
+		// Compile the scenario's fault schedule against this fleet — the
+		// same compilation the simulator runs for this spec, so one
+		// scenario drives identical failure sequences in both. Crash and
+		// recovery events fire on data-plane ticks; the tick counter
+		// starts at process start, mirroring the simulator's evaluation
+		// period.
+		sizes := make([]int, 0, fleet.NumClusters())
+		for _, servers := range fleet.Shards() {
+			sizes = append(sizes, len(servers))
+		}
+		sched, err := fault.Compile(sp.Faults, sp.Seed, sizes, tr.Horizon-tr.Horizon/2)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = sched
+		if !o.dataPlane {
+			log.Printf("warning: scenario %q has a faults: section but -data-plane is off — server crash/recover events fire on data-plane ticks and will never apply", sp.Name)
+		}
+		log.Printf("fault schedule: %d server crashes compiled (seed %d)", sched.Crashes(), sp.Seed)
+	}
 	svc, err := serve.New(tr, fleet, cfg)
 	if err != nil {
 		return err
@@ -183,9 +218,13 @@ func run(o options) error {
 	if !o.lazyTrain {
 		start := time.Now()
 		if err := svc.Warm(); err != nil {
-			return err
+			// Keep serving: admissions fall back to fully-guaranteed
+			// best-fit and /readyz reports not-ready until a later
+			// training attempt succeeds.
+			log.Printf("warning: model training failed, serving degraded: %v", err)
+		} else {
+			log.Printf("model trained in %s", time.Since(start).Round(time.Millisecond))
 		}
-		log.Printf("model trained in %s", time.Since(start).Round(time.Millisecond))
 	}
 
 	srv := &http.Server{Addr: o.addr, Handler: svc.Handler()}
@@ -228,8 +267,8 @@ func run(o options) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	log.Printf("shutting down (drain timeout %s)", o.drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	err = srv.Shutdown(shutdownCtx) // stop accepting, finish in-flight requests
 	svc.Close()                     // then drain the batcher
@@ -251,6 +290,11 @@ func run(o options) error {
 			st.DataPlane.SameShardMigrations, st.DataPlane.CrossShardMigrations,
 			st.DataPlane.FailedMigrations, st.DataPlane.WarmArrivedGB,
 			st.DataPlane.PressureRejected)
+		if st.DataPlane.Crashes > 0 || st.DataPlane.Recoveries > 0 {
+			log.Printf("failure domain: crashes=%d recoveries=%d evicted=%d replaced=%d lost=%d pending-handoffs=%d",
+				st.DataPlane.Crashes, st.DataPlane.Recoveries, st.DataPlane.EvictedVMs,
+				st.DataPlane.ReplacedVMs, st.DataPlane.LostVMs, st.DataPlane.PendingHandoffs)
+		}
 	}
 	return nil
 }

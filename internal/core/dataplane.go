@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/coach-oss/coach/internal/agent"
 	"github.com/coach-oss/coach/internal/cluster"
@@ -222,6 +223,35 @@ func (d *DataPlane) Detach(id int) bool {
 	delete(d.vms, id)
 	d.touch(att.server)
 	return d.servers[att.server].Server.RemoveVM(id)
+}
+
+// CrashServer fails server: every attached VM's memory is lost (the
+// hypervisor state is gone, so there is nothing to migrate), the
+// memsim server reboots empty with its boot-time pool split, and the
+// evicted VM ids are returned in ascending order for the caller to
+// re-admit or declare lost. The agent is not reset — its monitoring
+// history and counters describe the fleet's past, which a reboot does
+// not rewrite. The caller owns marking the server down in its
+// scheduler; a recovered server simply starts accepting placements
+// again.
+func (d *DataPlane) CrashServer(server int) []int {
+	if server < 0 || server >= len(d.servers) {
+		return nil
+	}
+	var evicted []int
+	for id, att := range d.vms {
+		if att.server == server {
+			evicted = append(evicted, id)
+		}
+	}
+	sort.Ints(evicted)
+	for _, id := range evicted {
+		delete(d.vms, id)
+	}
+	d.servers[server].Server.Crash()
+	d.touch(server)
+	d.frames[server] = d.servers[server].Server.Frame()
+	return evicted
 }
 
 // SetWSS drives VM id's working set (a no-op for unattached ids and for

@@ -148,6 +148,26 @@ func PickPlacement(sched *scheduler.Scheduler, dp *DataPlane, cvm *coachvm.CVM, 
 	return scheduler.Candidate{}, false
 }
 
+// PickRecovery chooses the server a crash-evicted VM re-admits to: the
+// pressure-filtered best fit (PickPlacement), else the least-pressured
+// feasible server — after a server failure the fleet is short capacity,
+// so a pressured-but-feasible home beats losing the VM. ok=false means
+// nothing in the shard can host it and the VM is lost. The failure-
+// domain engine (sim fault processing, serve's crash handler) is the
+// single caller, so both layers recover crashes identically.
+func PickRecovery(sched *scheduler.Scheduler, dp *DataPlane, cvm *coachvm.CVM, pressureFrac float64) (int, bool) {
+	if c, ok := PickPlacement(sched, dp, cvm, -1, VAPeakGB(cvm), pressureFrac); ok {
+		return c.Server, true
+	}
+	best, bestPressure := -1, 0.0
+	for _, c := range sched.Candidates(cvm, -1) {
+		if p := dp.PressureOf(c.Server); best < 0 || p < bestPressure {
+			best, bestPressure = c.Server, p
+		}
+	}
+	return best, best >= 0
+}
+
 // VAPeakGB is the pool demand a CoachVM brings to a target server: the
 // peak over time windows of its scheduled oversubscribed memory demand.
 // Migration targeting projects this — not the instantaneous working-set

@@ -10,8 +10,8 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig15", "fig17", "fig18", "fig19",
 		"fig20", "fig21", "tab1", "tab2", "sec45",
-		"abl-fleetmig", "abl-fleetmit", "abl-forest", "abl-monitor", "abl-percentile",
-		"abl-scenarios", "abl-windows",
+		"abl-faults", "abl-fleetmig", "abl-fleetmit", "abl-forest", "abl-monitor",
+		"abl-percentile", "abl-scenarios", "abl-windows",
 	}
 	if len(all) != len(want) {
 		var ids []string

@@ -726,3 +726,59 @@ func TestTickBitIdenticalAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestServerCrash pins the host-failure contract: every VM and its
+// memory vanishes, in-flight operations abort, the pool reverts to its
+// boot-time split (extensions do not survive a reboot), and the server
+// comes back non-quiet so the next pass runs a real tick. History —
+// cumulative totals, tick counters, the clock — persists.
+func TestServerCrash(t *testing.T) {
+	s := NewServer(DefaultConfig(), 10, 5)
+	vm := mustVM(t, 1, 8, 3)
+	if err := s.AddVM(vm); err != nil {
+		t.Fatal(err)
+	}
+	vm.SetWSS(6)
+	if _, err := s.Tick(60); err != nil {
+		t.Fatal(err)
+	}
+	s.StartExtend(5)
+	if _, err := s.Tick(60); err != nil {
+		t.Fatal(err)
+	}
+	s.StartTrim(1, 1)
+	ticksBefore, totalsBefore, nowBefore := s.TickCount(), s.Totals(), s.Now()
+	if totalsBefore.SoftFaultGB <= 0 {
+		t.Fatalf("fixture never faulted pages in: %+v", totalsBefore)
+	}
+
+	s.Crash()
+
+	if s.VM(1) != nil || len(s.VMs()) != 0 {
+		t.Error("VMs survived the crash")
+	}
+	if s.OpsInFlight() != 0 {
+		t.Errorf("ops in flight after crash: %d", s.OpsInFlight())
+	}
+	if s.PoolGB() != 10 || s.UnallocatedGB() != 5 {
+		t.Errorf("pool split after crash = (%.1f, %.1f), want boot-time (10, 5)",
+			s.PoolGB(), s.UnallocatedGB())
+	}
+	if got := s.PoolUsed(); got != 0 {
+		t.Errorf("pool used after crash = %.2f, want 0", got)
+	}
+	if s.Quiet() {
+		t.Error("server quiet after crash — next pass would replay a stale frame")
+	}
+	if s.TickCount() != ticksBefore || s.Totals() != totalsBefore || s.Now() != nowBefore {
+		t.Error("crash rewrote history (ticks/totals/clock)")
+	}
+
+	// The rebooted server is immediately usable.
+	if err := s.AddVM(mustVM(t, 2, 4, 2)); err != nil {
+		t.Fatalf("AddVM after crash: %v", err)
+	}
+	if _, err := s.Tick(60); err != nil {
+		t.Fatalf("Tick after crash: %v", err)
+	}
+}

@@ -189,6 +189,12 @@ type Server struct {
 	poolGB    float64 // physical frames backing VA regions
 	unallocGB float64 // spare server memory available to Extend
 
+	// initPoolGB/initUnallocGB remember the boot-time sizing so Crash can
+	// undo pool extensions: a rebooted host comes back with its original
+	// memory split, not with whatever Extend had claimed.
+	initPoolGB    float64
+	initUnallocGB float64
+
 	vms   map[int]*VMMem
 	order []int // sorted VM ids for deterministic iteration
 
@@ -224,7 +230,11 @@ type Server struct {
 // NewServer creates a server whose oversubscribed pool holds poolGB of
 // physical memory, with unallocGB spare for Extend mitigations.
 func NewServer(cfg Config, poolGB, unallocGB float64) *Server {
-	return &Server{cfg: cfg, poolGB: poolGB, unallocGB: unallocGB, vms: make(map[int]*VMMem)}
+	return &Server{
+		cfg: cfg, poolGB: poolGB, unallocGB: unallocGB,
+		initPoolGB: poolGB, initUnallocGB: unallocGB,
+		vms: make(map[int]*VMMem),
+	}
 }
 
 // Config returns the server's hardware parameters.
@@ -304,6 +314,29 @@ func (s *Server) RemoveVM(id int) bool {
 		s.residentGB = 0
 	}
 	return true
+}
+
+// Crash models a host failure followed by an immediate reboot: every
+// VM's memory is lost, in-flight trim/extend/migrate operations abort,
+// and the machine comes back with its boot-time pool/unallocated split
+// (pool extensions do not survive a reboot). Cumulative totals and the
+// tick/skip counters persist — they record history, not machine state —
+// but the simulated clock keeps running and the stats frame resets to
+// empty. The server is left non-quiet so the next data-plane pass runs
+// a full tick instead of replaying a stale cached frame.
+func (s *Server) Crash() {
+	for id := range s.vms {
+		delete(s.vms, id)
+	}
+	s.order = s.order[:0]
+	s.residentGB = 0
+	s.trims = s.trims[:0]
+	s.extends = s.extends[:0]
+	s.migrations = s.migrations[:0]
+	s.poolGB = s.initPoolGB
+	s.unallocGB = s.initUnallocGB
+	s.frame.reset(nil)
+	s.quiet = false
 }
 
 // VM returns the memory state of a VM (nil when absent).

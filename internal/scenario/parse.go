@@ -10,7 +10,8 @@ import (
 
 // The text form of a Spec is a small, strict, YAML-ish format:
 // two-space indentation, "key: value" pairs, "- " list items under the
-// "classes:" and "surges:" sections, and full-line "#" comments.
+// "classes:", "surges:" and "faults:" sections, and full-line "#"
+// comments.
 // Distributions and arrival processes are one-line expressions
 // ("lognormal mean=40 sigma=1.1", "gamma cv=2.5"). Parse and Format
 // round-trip: for any accepted input, Parse(Format(Parse(in))) equals
@@ -26,6 +27,7 @@ func Parse(text string) (*Spec, error) {
 	section := ""
 	var class *Class
 	var surge *Surge
+	var flt *Fault
 	for ln, raw := range strings.Split(text, "\n") {
 		line := strings.TrimRight(raw, " \r")
 		trimmed := strings.TrimLeft(line, " ")
@@ -46,10 +48,10 @@ func Parse(text string) (*Spec, error) {
 		}
 		switch {
 		case indent == 0 && !item:
-			class, surge = nil, nil
+			class, surge, flt = nil, nil, nil
 			section = ""
 			switch key {
-			case "seasonality", "classes", "surges":
+			case "seasonality", "classes", "surges", "faults":
 				if value != "" {
 					return nil, parseErr(ln, "section %q takes no value", key)
 				}
@@ -71,6 +73,12 @@ func Parse(text string) (*Spec, error) {
 			if err := surge.set(key, value); err != nil {
 				return nil, parseErr(ln, "%v", err)
 			}
+		case indent == 2 && item && section == "faults":
+			sp.Faults = append(sp.Faults, Fault{Cluster: -1, Server: -1})
+			flt = &sp.Faults[len(sp.Faults)-1]
+			if err := flt.set(key, value); err != nil {
+				return nil, parseErr(ln, "%v", err)
+			}
 		case indent == 2 && !item && section == "seasonality":
 			if err := sp.Seasonality.set(key, value); err != nil {
 				return nil, parseErr(ln, "%v", err)
@@ -81,6 +89,10 @@ func Parse(text string) (*Spec, error) {
 			}
 		case indent == 4 && !item && surge != nil:
 			if err := surge.set(key, value); err != nil {
+				return nil, parseErr(ln, "%v", err)
+			}
+		case indent == 4 && !item && flt != nil:
+			if err := flt.set(key, value); err != nil {
 				return nil, parseErr(ln, "%v", err)
 			}
 		default:
@@ -217,6 +229,36 @@ func (sg *Surge) set(key, value string) error {
 		return setInt(&sg.Cluster, key, value)
 	default:
 		return fmt.Errorf("unknown surge key %q", key)
+	}
+	return nil
+}
+
+func (f *Fault) set(key, value string) error {
+	switch key {
+	case "kind":
+		f.Kind = value
+	case "day":
+		return setFloat(&f.Day, key, value)
+	case "duration-hours":
+		return setFloat(&f.DurationHours, key, value)
+	case "recover-hours":
+		return setFloat(&f.RecoverHours, key, value)
+	case "mtbf-hours":
+		return setFloat(&f.MTBFHours, key, value)
+	case "delay-ms":
+		return setFloat(&f.DelayMs, key, value)
+	case "jitter-ms":
+		return setFloat(&f.JitterMs, key, value)
+	case "cluster":
+		return setInt(&f.Cluster, key, value)
+	case "server":
+		return setInt(&f.Server, key, value)
+	case "phase":
+		f.Phase = value
+	case "nth":
+		return setInt(&f.Nth, key, value)
+	default:
+		return fmt.Errorf("unknown fault key %q", key)
 	}
 	return nil
 }
@@ -408,6 +450,41 @@ func Format(sp *Spec) string {
 			}
 			if sg.Cluster != -1 {
 				fmt.Fprintf(&b, "    cluster: %d\n", sg.Cluster)
+			}
+		}
+	}
+	if len(sp.Faults) > 0 {
+		fmt.Fprintf(&b, "faults:\n")
+		for i := range sp.Faults {
+			f := &sp.Faults[i]
+			fmt.Fprintf(&b, "  - kind: %s\n", f.Kind)
+			fmt.Fprintf(&b, "    day: %s\n", ftoa(f.Day))
+			if f.DurationHours != 0 {
+				fmt.Fprintf(&b, "    duration-hours: %s\n", ftoa(f.DurationHours))
+			}
+			if f.RecoverHours != 0 {
+				fmt.Fprintf(&b, "    recover-hours: %s\n", ftoa(f.RecoverHours))
+			}
+			if f.MTBFHours != 0 {
+				fmt.Fprintf(&b, "    mtbf-hours: %s\n", ftoa(f.MTBFHours))
+			}
+			if f.DelayMs != 0 {
+				fmt.Fprintf(&b, "    delay-ms: %s\n", ftoa(f.DelayMs))
+			}
+			if f.JitterMs != 0 {
+				fmt.Fprintf(&b, "    jitter-ms: %s\n", ftoa(f.JitterMs))
+			}
+			if f.Cluster != -1 {
+				fmt.Fprintf(&b, "    cluster: %d\n", f.Cluster)
+			}
+			if f.Server != -1 {
+				fmt.Fprintf(&b, "    server: %d\n", f.Server)
+			}
+			if f.Phase != "" {
+				fmt.Fprintf(&b, "    phase: %s\n", f.Phase)
+			}
+			if f.Nth != 0 {
+				fmt.Fprintf(&b, "    nth: %d\n", f.Nth)
 			}
 		}
 	}

@@ -13,7 +13,9 @@ import (
 // (capacity, skewed-hot-cold), the four that open new axes (bursty,
 // diurnal, surge, churn), and the event-replay stressor whose
 // population churns while utilization barely moves (sparse-churn).
-var PresetNames = []string{"capacity", "skewed-hot-cold", "bursty", "diurnal", "surge", "churn", "sparse-churn"}
+// chaos, the failure-domain stressor, injects a deterministic crash
+// schedule on top of a capacity-like mix.
+var PresetNames = []string{"capacity", "skewed-hot-cold", "bursty", "diurnal", "surge", "churn", "sparse-churn", "chaos"}
 
 // Preset returns a fresh copy of the named preset spec.
 func Preset(name string) (*Spec, error) {
@@ -64,6 +66,7 @@ var presets = map[string]func() *Spec{
 	"surge":           presetSurge,
 	"churn":           presetChurn,
 	"sparse-churn":    presetSparseChurn,
+	"chaos":           presetChaos,
 }
 
 func base(name string, seed int64) *Spec {
@@ -275,6 +278,41 @@ func presetSparseChurn() *Spec {
 			Arrival:  WeibullArrival(0.8),
 			Lifetime: Exponential(3), WorkingSet: Uniform(0.2, 0.4),
 		},
+	}
+	return sp
+}
+
+// presetChaos is the failure-domain stressor: a capacity-like mix with
+// a long-lived resident core (so crashed servers hold real state) under
+// a deterministic fault schedule — recurring seed-driven crashes from
+// half a day into the evaluation period, one pinned crash with
+// recovery, and a train failure is deliberately absent so the chaos run
+// measures crash handling, not degraded admission. The abl-faults
+// experiment and the CI chaos-smoke job both replay it; fault days
+// count from the start of the evaluation period (see Fault).
+func presetChaos() *Spec {
+	sp := base("chaos", 5150)
+	sp.Seasonality = Seasonality{DiurnalAmp: 0.3, PeakHour: 14, WeekendFactor: 0.85}
+	sp.Classes = []Class{
+		{
+			Name: "resident", Fraction: 0.45, Size: "large",
+			Arrival:  PoissonArrival(),
+			Lifetime: Lognormal(150, 0.9), WorkingSet: Uniform(0.35, 0.7),
+		},
+		{
+			Name: "daily", Fraction: 0.35, Archetype: "business-hours",
+			Arrival:  PoissonArrival(),
+			Lifetime: Lognormal(30, 0.8), WorkingSet: Uniform(0.3, 0.6),
+		},
+		{
+			Name: "test", Fraction: 0.2, Size: "small",
+			Arrival:  WeibullArrival(0.7),
+			Lifetime: Exponential(4), WorkingSet: Uniform(0.15, 0.4),
+		},
+	}
+	sp.Faults = []Fault{
+		{Kind: "crash", Day: 0.25, Cluster: 0, Server: 0, RecoverHours: 6},
+		{Kind: "chaos", Day: 0.5, MTBFHours: 8, RecoverHours: 3, Cluster: -1, Server: -1},
 	}
 	return sp
 }

@@ -52,6 +52,12 @@ type Spec struct {
 	// Surges are correlated rate/utilization events layered on top of
 	// seasonality (regional failover, launch-day stampede, black friday).
 	Surges []Surge
+	// Faults are injected failures (server crashes, chaos windows, train
+	// failures, request latency, handoff crash points). Unlike surges
+	// they do not shape the generated trace: internal/fault compiles them
+	// into a deterministic schedule that the simulator and a live coachd
+	// replay identically.
+	Faults []Fault
 	// UtilQuantum, when non-zero, snaps every generated utilization
 	// sample to the nearest multiple of this fraction (e.g. 0.1 = 10%
 	// steps). Quantization turns the generator's continuous per-sample
@@ -195,6 +201,67 @@ func (sg *Surge) utilMultOr1() float64 {
 		return 1
 	}
 	return sg.UtilMult
+}
+
+// Fault is one injected failure. Unlike Surge.Day, Day counts from the
+// start of the evaluation (served) period, not from scenario start: the
+// simulator injects faults only into the half it replays after training,
+// and a live coachd counts data-plane ticks from process start, so this
+// convention makes the same spec line fire at the same evaluation tick
+// in both. The kinds are:
+//
+//   - "crash": one server fails at Day and, with recover-hours > 0,
+//     comes back empty after that long. cluster/server select the
+//     victim; -1 picks one from the spec seed.
+//   - "chaos": recurring seed-driven crashes over [Day, Day+duration)
+//     (duration 0 = to the horizon) with exponential gaps of mean
+//     mtbf-hours, each down for recover-hours.
+//   - "train-fail": model training fails; coachd degrades to
+//     best-fit-only admission, the simulator runs unpredicted.
+//   - "latency": every request during [Day, Day+duration) is delayed by
+//     delay-ms plus uniform jitter in [0, jitter-ms). Serving only.
+//   - "handoff-crash": the cross-shard handoff coordinator dies at
+//     phase (its nth pass through that crash point); the recovery
+//     sweep must roll the interrupted handoff forward or back.
+//     Serving only — the simulator's exchange is a serial barrier.
+//
+// Kind is semantic here (unlike Surge.Kind): it selects which fields
+// apply.
+type Fault struct {
+	// Kind selects the failure mode (see above).
+	Kind string
+	// Day is the event (or window) start in fractional days from the
+	// start of the evaluation period.
+	Day float64
+	// DurationHours bounds chaos and latency windows (0 = to horizon).
+	DurationHours float64
+	// RecoverHours is how long a crashed server stays down (0 = forever).
+	RecoverHours float64
+	// MTBFHours is the mean time between chaos crashes.
+	MTBFHours float64
+	// DelayMs and JitterMs shape injected request latency.
+	DelayMs  float64
+	JitterMs float64
+	// Cluster and Server select a crash victim; -1 = seed-picked.
+	Cluster int
+	Server  int
+	// Phase names the handoff crash point: {before,after}-{pick,reserve,
+	// release,commit}.
+	Phase string
+	// Nth is which pass through the crash point fires (1-based; 0 = 1).
+	Nth int
+}
+
+// FaultKinds lists the accepted Fault.Kind values.
+var FaultKinds = []string{"crash", "chaos", "train-fail", "latency", "handoff-crash"}
+
+// HandoffPhases lists the accepted handoff-crash Phase values, in
+// protocol order.
+var HandoffPhases = []string{
+	"before-pick", "after-pick",
+	"before-reserve", "after-reserve",
+	"before-release", "after-release",
+	"before-commit", "after-commit",
 }
 
 // Horizon returns the scenario length in 5-minute samples.
@@ -402,6 +469,59 @@ func (sp *Spec) Validate() error {
 				return fmt.Errorf("scenario: surge %q references unknown class %q", sg.Kind, name)
 			}
 		}
+	}
+	for i := range sp.Faults {
+		if err := sp.Faults[i].validate(sp); err != nil {
+			return fmt.Errorf("scenario: fault %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (f *Fault) validate(sp *Spec) error {
+	known := false
+	for _, k := range FaultKinds {
+		if f.Kind == k {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown kind %q (have %v)", f.Kind, FaultKinds)
+	}
+	switch {
+	case f.Day < 0:
+		return fmt.Errorf("%s day %g < 0", f.Kind, f.Day)
+	case f.DurationHours < 0:
+		return fmt.Errorf("%s duration %gh < 0", f.Kind, f.DurationHours)
+	case f.RecoverHours < 0:
+		return fmt.Errorf("%s recover %gh < 0", f.Kind, f.RecoverHours)
+	case f.DelayMs < 0 || f.JitterMs < 0:
+		return fmt.Errorf("%s negative delay/jitter", f.Kind)
+	case f.Cluster < -1 || f.Cluster >= sp.Clusters:
+		return fmt.Errorf("%s cluster %d outside [-1,%d)", f.Kind, f.Cluster, sp.Clusters)
+	case f.Server < -1:
+		return fmt.Errorf("%s server %d < -1", f.Kind, f.Server)
+	case f.Nth < 0:
+		return fmt.Errorf("%s nth %d < 0", f.Kind, f.Nth)
+	}
+	if f.Kind == "chaos" && f.MTBFHours <= 0 {
+		return fmt.Errorf("chaos mtbf %gh <= 0", f.MTBFHours)
+	}
+	if f.Kind != "chaos" && f.MTBFHours != 0 {
+		return fmt.Errorf("%s has mtbf-hours (chaos only)", f.Kind)
+	}
+	if f.Kind == "handoff-crash" {
+		ok := false
+		for _, p := range HandoffPhases {
+			if f.Phase == p {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("handoff-crash phase %q (have %v)", f.Phase, HandoffPhases)
+		}
+	} else if f.Phase != "" {
+		return fmt.Errorf("%s has phase (handoff-crash only)", f.Kind)
 	}
 	return nil
 }

@@ -41,6 +41,12 @@ type Scheduler struct {
 	servers []*ServerState
 	// placement maps VM ID -> index into servers.
 	placement map[int]int
+	// down marks failed servers: every placement path skips them until
+	// SetDown lifts the mark. Evicting a crashed server's VMs is the
+	// caller's job (the fault-handling layers in sim and serve); the
+	// scheduler only refuses new placements there. Nil until the first
+	// SetDown, so the fault-free fast paths stay allocation-free.
+	down []bool
 }
 
 // New builds a scheduler over the fleet with empty servers.
@@ -106,7 +112,7 @@ func (s *Scheduler) PlaceExcluding(vm *coachvm.CVM, exclude int) (serverIdx int,
 	best := -1
 	bestScore := -1.0
 	for i, st := range s.servers {
-		if i == exclude || !st.Pool.Fits(vm) {
+		if i == exclude || s.Down(i) || !st.Pool.Fits(vm) {
 			continue
 		}
 		if score := s.packScore(st, vm); score > bestScore {
@@ -130,6 +136,9 @@ func (s *Scheduler) PlaceAt(vm *coachvm.CVM, server int) error {
 	}
 	if _, dup := s.placement[vm.ID]; dup {
 		return fmt.Errorf("scheduler: vm %d already placed", vm.ID)
+	}
+	if s.Down(server) {
+		return fmt.Errorf("%w: vm %d on down server %d", ErrNoCapacity, vm.ID, server)
 	}
 	if !s.servers[server].Pool.Fits(vm) {
 		return fmt.Errorf("%w: vm %d on server %d", ErrNoCapacity, vm.ID, server)
@@ -160,7 +169,7 @@ type Candidate struct {
 // Candidates ranking.
 func (s *Scheduler) HasFeasible(vm *coachvm.CVM, exclude int) bool {
 	for i, st := range s.servers {
-		if i != exclude && st.Pool.Fits(vm) {
+		if i != exclude && !s.Down(i) && st.Pool.Fits(vm) {
 			return true
 		}
 	}
@@ -177,7 +186,7 @@ func (s *Scheduler) HasFeasible(vm *coachvm.CVM, exclude int) bool {
 func (s *Scheduler) Candidates(vm *coachvm.CVM, exclude int) []Candidate {
 	var out []Candidate
 	for i, st := range s.servers {
-		if i == exclude || !st.Pool.Fits(vm) {
+		if i == exclude || s.Down(i) || !st.Pool.Fits(vm) {
 			continue
 		}
 		out = append(out, Candidate{Server: i, Score: s.packScore(st, vm)})
@@ -240,6 +249,9 @@ func (s *Scheduler) MigrateTo(vmID, target int) error {
 	if target == from {
 		return fmt.Errorf("scheduler: vm %d already on server %d", vmID, target)
 	}
+	if s.Down(target) {
+		return fmt.Errorf("%w: vm %d to down server %d", ErrNoCapacity, vmID, target)
+	}
 	vm := s.servers[from].Pool.Remove(vmID)
 	if !s.servers[target].Pool.Fits(vm) {
 		// Restore: capacity on the source is still reserved.
@@ -272,6 +284,41 @@ func (s *Scheduler) ServerOf(vmID int) int {
 		return idx
 	}
 	return -1
+}
+
+// SetDown marks a server failed (down=true) or recovered (false). A
+// down server is skipped by Place, PlaceAt, Candidates, HasFeasible and
+// MigrateTo; VMs already placed there stay in the bookkeeping until the
+// caller removes them.
+func (s *Scheduler) SetDown(server int, down bool) {
+	if server < 0 || server >= len(s.servers) {
+		return
+	}
+	if s.down == nil {
+		if !down {
+			return
+		}
+		s.down = make([]bool, len(s.servers))
+	}
+	s.down[server] = down
+}
+
+// Down reports whether the server is marked failed.
+func (s *Scheduler) Down(server int) bool {
+	return s.down != nil && server >= 0 && server < len(s.down) && s.down[server]
+}
+
+// VMsOn returns the IDs of VMs placed on server, ascending — the
+// deterministic eviction order crash handling uses.
+func (s *Scheduler) VMsOn(server int) []int {
+	var out []int
+	for id, idx := range s.placement {
+		if idx == server {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Placed returns the number of VMs currently placed.

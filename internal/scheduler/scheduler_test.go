@@ -435,3 +435,56 @@ func TestCapacityInvariantProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestDownTracking: a down server is invisible to placement until
+// recovery, VMsOn reports its residents in ascending eviction order,
+// and SetDown is bounds-safe.
+func TestDownTracking(t *testing.T) {
+	s := mustScheduler(t, smallFleet(2))
+	// Fill server 0 first so both servers host VMs deterministically.
+	if err := s.PlaceAt(guaranteedVM(3, 4, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PlaceAt(guaranteedVM(1, 4, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PlaceAt(guaranteedVM(2, 4, 16), 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.VMsOn(0); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("VMsOn(0) = %v, want ascending [1 3]", got)
+	}
+
+	s.SetDown(0, true)
+	if !s.Down(0) || s.Down(1) {
+		t.Fatal("down flags wrong after SetDown(0, true)")
+	}
+	if idx, ok := s.Place(guaranteedVM(4, 4, 16)); !ok || idx != 1 {
+		t.Fatalf("Place during outage = (%d, %v), want server 1", idx, ok)
+	}
+	if err := s.PlaceAt(guaranteedVM(5, 1, 4), 0); err == nil {
+		t.Fatal("PlaceAt onto a down server succeeded")
+	}
+	if s.HasFeasible(guaranteedVM(6, 16, 64), 1) {
+		t.Fatal("HasFeasible found capacity on the down server")
+	}
+
+	// Evict + recover: the server accepts placements again.
+	for _, id := range s.VMsOn(0) {
+		s.Remove(id)
+	}
+	s.SetDown(0, false)
+	if s.Down(0) {
+		t.Fatal("still down after recovery")
+	}
+	if err := s.PlaceAt(guaranteedVM(7, 4, 16), 0); err != nil {
+		t.Fatalf("PlaceAt after recovery: %v", err)
+	}
+
+	// Out-of-range servers are ignored, not panics.
+	s.SetDown(-1, true)
+	s.SetDown(99, true)
+	if s.Down(-1) || s.Down(99) {
+		t.Fatal("out-of-range Down reports true")
+	}
+}

@@ -1,0 +1,429 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/coach-oss/coach/internal/core"
+	"github.com/coach-oss/coach/internal/fault"
+	"github.com/coach-oss/coach/internal/scheduler"
+)
+
+// This file is the serving half of the failure-domain engine
+// (docs/DESIGN.md §13): compiled server crash/recover events apply at
+// the top of each data-plane tick through the same eviction-and-recovery
+// semantics the simulator uses, and the cross-shard handoff gains a
+// write-ahead intent log so a coordinator crash at any point of the
+// pick/reserve/release/commit protocol leaves the VM recoverable —
+// never lost, never double-placed.
+
+// Handoff intent phases — the write-ahead record of how far a
+// cross-shard handoff progressed. Each phase names the durable state
+// the protocol reached, so recovery knows exactly what to undo or
+// finish:
+//
+//	hoPending   nothing done; safe to restart (or settle home).
+//	hoPicked    destination chosen, no capacity held yet.
+//	hoReserved  capacity held at the destination, source still intact —
+//	            recovery may roll back (cancel) or forward (release
+//	            source and commit).
+//	hoReleased  source released; the VM exists only as the reservation
+//	            plus in-flight memory — recovery MUST roll forward.
+//	hoCommitted memory attached at the destination; only the route
+//	            update remains.
+const (
+	hoPending   = "pending"
+	hoPicked    = "picked"
+	hoReserved  = "reserved"
+	hoReleased  = "released"
+	hoCommitted = "committed"
+)
+
+// handoffIntent is one logged cross-shard handoff. Its mutex serializes
+// the drivers (the tick loop, the recovery sweep, a racing Release);
+// lock ordering is intent → shard, never the reverse.
+type handoffIntent struct {
+	mu        sync.Mutex
+	req       core.MigrationRequest
+	phase     string
+	dstShard  int
+	dstServer int
+	// tracked carries the VM's utilization cursor across the shard move
+	// once the source releases it.
+	tracked *dpTracked
+	done    bool
+}
+
+// newIntent logs a fresh handoff intent before any protocol step runs —
+// the write-ahead discipline: the record exists before the actions it
+// describes.
+func (s *Service) newIntent(req core.MigrationRequest) *handoffIntent {
+	in := &handoffIntent{req: req, phase: hoPending, dstShard: -1, dstServer: -1}
+	s.intentMu.Lock()
+	s.intents[req.VMID] = in
+	s.intentMu.Unlock()
+	return in
+}
+
+// intentFor returns the live intent for vmID (nil when none).
+func (s *Service) intentFor(vmID int) *handoffIntent {
+	s.intentMu.Lock()
+	defer s.intentMu.Unlock()
+	return s.intents[vmID]
+}
+
+// pendingHandoffs reports the intent-log depth.
+func (s *Service) pendingHandoffs() int {
+	s.intentMu.Lock()
+	defer s.intentMu.Unlock()
+	return len(s.intents)
+}
+
+// finishIntent retires a completed intent from the log. Callers hold
+// in.mu; done guards drivers that already fetched the pointer.
+func (s *Service) finishIntent(in *handoffIntent) {
+	in.done = true
+	s.intentMu.Lock()
+	delete(s.intents, in.req.VMID)
+	s.intentMu.Unlock()
+}
+
+// recoverHandoffs sweeps the intent log, driving every parked intent to
+// completion — the crash-recovery pass a restarted coordinator would
+// run. TickDataPlane calls it at the top of every tick; VM order keeps
+// the sweep deterministic.
+func (s *Service) recoverHandoffs() error {
+	s.intentMu.Lock()
+	ids := make([]int, 0, len(s.intents))
+	for id := range s.intents {
+		ids = append(ids, id)
+	}
+	s.intentMu.Unlock()
+	sort.Ints(ids)
+	for _, id := range ids {
+		if in := s.intentFor(id); in != nil {
+			if err := s.driveHandoff(in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// driveHandoff advances one handoff intent as far as it can go,
+// idempotently: any driver (the tick loop, the recovery sweep, a
+// Release spinning on the in-flight VM) may call it, from any phase,
+// any number of times. Injected crash points (fault.HandoffCrash) park
+// the intent mid-protocol by returning early — exactly what a real
+// coordinator crash leaves behind — and the next driver resumes from
+// the logged phase.
+//
+// The protocol never holds two shard locks at once:
+//
+//  1. Pick: poll every other shard (one lock at a time) for its best
+//     unpressured best-fit server.
+//  2. Reserve: place the CoachVM on the chosen destination — capacity is
+//     now held at the destination while the source still holds its own,
+//     so a concurrent admission cannot squeeze the VM out mid-flight.
+//  3. Release: verify the VM still lives on its source server as the
+//     exact CoachVM being migrated (a concurrent Release may have
+//     dropped it, or a server crash re-homed it with fresh memory —
+//     either way the reservation is cancelled and the in-flight memory
+//     discarded), then remove the source bookkeeping.
+//  4. Commit: attach the memory at the destination, pre-copied pages
+//     arriving resident, and update the route so Release/Report find
+//     the VM in its new shard.
+//
+// Requests no shard can absorb settle back in their home shard through
+// the engine's same-shard fallback. Once the source is released (phase
+// hoReleased) the protocol only rolls forward: the reservation plus the
+// intent record are the VM's sole existence, and completing the commit
+// is the only path that neither loses nor duplicates it.
+func (s *Service) driveHandoff(in *handoffIntent) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.done {
+		return nil
+	}
+	req := in.req
+	src := s.shards[req.SrcShard]
+
+	if in.phase == hoPending {
+		if s.injector.CrashPoint("before-pick") {
+			return nil
+		}
+		bestShard, found := -1, false
+		var bestCand scheduler.Candidate
+		for j, dst := range s.shards {
+			if j == req.SrcShard || dst.eng == nil {
+				continue
+			}
+			dst.mu.Lock()
+			c, ok := dst.eng.PickInbound(req)
+			dst.mu.Unlock()
+			// Strict > keeps the lowest shard index on score ties.
+			if ok && (!found || c.Score > bestCand.Score) {
+				bestShard, bestCand, found = j, c, true
+			}
+		}
+		if !found {
+			err := s.settleHome(src, req)
+			s.finishIntent(in)
+			return err
+		}
+		in.dstShard, in.dstServer = bestShard, bestCand.Server
+		in.phase = hoPicked
+		if s.injector.CrashPoint("after-pick") {
+			return nil
+		}
+	}
+
+	if in.phase == hoPicked {
+		if s.injector.CrashPoint("before-reserve") {
+			return nil
+		}
+		dst := s.shards[in.dstShard]
+		dst.mu.Lock()
+		err := dst.eng.Reserve(req, in.dstServer)
+		dst.mu.Unlock()
+		if err != nil {
+			// The candidate filled up (or went down) between pick and
+			// reserve; settle at home rather than retrying a moving target.
+			err := s.settleHome(src, req)
+			s.finishIntent(in)
+			return err
+		}
+		in.phase = hoReserved
+		if s.injector.CrashPoint("after-reserve") {
+			return nil
+		}
+	}
+
+	if in.phase == hoReserved {
+		if s.injector.CrashPoint("before-release") {
+			return nil
+		}
+		// Verify the exact CoachVM we are migrating still lives on its
+		// source server. Pointer identity guards the ABA race where a
+		// concurrent Release and re-Admit put a fresh CVM with the same
+		// id back mid-flight; the server check guards a crash that
+		// evicted and re-homed the VM with freshly attached memory — in
+		// both cases the in-flight copy has no owner and is dropped.
+		src.mu.Lock()
+		if src.sched == nil || src.sched.CVM(req.VMID) != req.CVM ||
+			src.sched.ServerOf(req.VMID) != req.SrcServer {
+			src.mu.Unlock()
+			dst := s.shards[in.dstShard]
+			dst.mu.Lock()
+			dst.eng.CancelReservation(req.VMID)
+			dst.mu.Unlock()
+			s.finishIntent(in)
+			return nil
+		}
+		src.eng.ReleaseSource(req.VMID)
+		in.tracked = src.dpVMs[req.VMID]
+		delete(src.dpVMs, req.VMID)
+		src.crossShardMigs++
+		src.mu.Unlock()
+		in.phase = hoReleased
+		if s.injector.CrashPoint("after-release") {
+			return nil
+		}
+	}
+
+	if in.phase == hoReleased {
+		if s.injector.CrashPoint("before-commit") {
+			return nil
+		}
+		dst := s.shards[in.dstShard]
+		dst.mu.Lock()
+		plan, err := dst.eng.CommitInbound(req, in.dstServer)
+		if err == nil {
+			tracked := in.tracked
+			if tracked == nil {
+				tracked = &dpTracked{vm: s.vmByID[req.VMID]}
+			}
+			dst.dpVMs[req.VMID] = tracked
+			dst.dp.SetWSS(req.VMID, tracked.wss())
+			dst.warmArrivedGB += plan.WarmGB
+		}
+		dst.mu.Unlock()
+		if err != nil {
+			// Leave the intent parked: the next sweep retries the commit.
+			// Rolling back here would lose the VM — the source is gone.
+			return err
+		}
+		in.phase = hoCommitted
+		if s.injector.CrashPoint("after-commit") {
+			return nil
+		}
+	}
+
+	if in.phase == hoCommitted {
+		s.setRoute(req.VMID, in.dstShard)
+		s.finishIntent(in)
+	}
+	return nil
+}
+
+// settleHome lands a declined cross-shard request back in its home shard
+// (least-pressured feasible server, else a warm re-land on the source),
+// unless the VM was released — or crash-evicted and re-homed — mid-flight.
+func (s *Service) settleHome(src *fleetShard, req core.MigrationRequest) error {
+	src.mu.Lock()
+	defer src.mu.Unlock()
+	if src.sched == nil || src.sched.CVM(req.VMID) != req.CVM ||
+		src.sched.ServerOf(req.VMID) != req.SrcServer {
+		return nil // released (or re-admitted elsewhere) mid-flight
+	}
+	plan, err := src.eng.Settle(req)
+	if err != nil {
+		return err
+	}
+	src.countPlan(plan)
+	return nil
+}
+
+// applyFaultEvents applies the compiled server crash/recover events due
+// at or before tick. TickDataPlane calls it once per tick, after the
+// recovery sweep, so parked handoffs complete against the fleet state
+// they were logged under before servers fail beneath them.
+func (s *Service) applyFaultEvents(tick int) error {
+	s.fMu.Lock()
+	var due []fault.Event
+	for s.fi < len(s.fEvents) && s.fEvents[s.fi].Tick <= tick {
+		due = append(due, s.fEvents[s.fi])
+		s.fi++
+	}
+	s.fMu.Unlock()
+	for _, e := range due {
+		if e.Shard < 0 || e.Shard >= len(s.shards) {
+			continue
+		}
+		if e.Up {
+			s.recoverServer(e.Shard, e.Server)
+		} else if err := s.crashServer(e.Shard, e.Server); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crashServer fails one shard server: its data-plane memory state is
+// lost, the scheduler marks it down, and every VM attached there is
+// evicted and re-admitted through the pressure-aware recovery placement
+// (core.PickRecovery) — or lost when no feasible server remains in the
+// shard. Reservations held by in-flight handoffs are not dp-attached
+// and are deliberately left alone: the handoff protocol owns them.
+func (s *Service) crashServer(shard, srv int) error {
+	sh := s.shards[shard]
+	var lost []int
+	sh.mu.Lock()
+	if sh.sched == nil || sh.sched.Down(srv) {
+		sh.mu.Unlock()
+		return nil
+	}
+	s.crashes.Add(1)
+	var evicted []int
+	for _, id := range sh.sched.VMsOn(srv) {
+		if sh.dp == nil || sh.dp.ServerOf(id) == srv {
+			evicted = append(evicted, id)
+		}
+	}
+	if sh.dp != nil {
+		sh.dp.CrashServer(srv)
+	}
+	sh.sched.SetDown(srv, true)
+	for _, id := range evicted {
+		cvm := sh.sched.CVM(id)
+		tracked := sh.dpVMs[id]
+		sh.sched.Remove(id)
+		delete(sh.dpVMs, id)
+		if cvm == nil {
+			continue
+		}
+		s.evictedVMs.Add(1)
+
+		target := -1
+		if sh.dp != nil {
+			if s2, ok := core.PickRecovery(sh.sched, sh.dp, cvm,
+				sh.eng.Config().PressureFrac); ok {
+				if err := sh.sched.PlaceAt(cvm, s2); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				target = s2
+			}
+		} else if s2, ok := sh.sched.Place(cvm); ok {
+			target = s2
+		}
+		if target < 0 {
+			s.lostVMs.Add(1)
+			lost = append(lost, id)
+			continue
+		}
+		if sh.dp != nil {
+			sizeGB, paGB := core.MemoryProfile(cvm)
+			if err := sh.dp.Attach(target, id, sizeGB, paGB); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			if tracked == nil {
+				tracked = &dpTracked{vm: s.vmByID[id]}
+			}
+			sh.dpVMs[id] = tracked
+			sh.dp.SetWSS(id, tracked.wss())
+		}
+		s.replacedVMs.Add(1)
+	}
+	sh.mu.Unlock()
+	// Lost VMs leave the fleet entirely; clearing their routes (outside
+	// the shard lock — routeMu is never nested inside one) makes a later
+	// Release report them as already gone.
+	for _, id := range lost {
+		s.clearRoute(id)
+	}
+	return nil
+}
+
+// recoverServer returns a crashed server to service, empty.
+func (s *Service) recoverServer(shard, srv int) {
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	if sh.sched != nil && sh.sched.Down(srv) {
+		sh.sched.SetDown(srv, false)
+		s.recoveries.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// Degraded reports whether the service is running without a prediction
+// model (training failed or was fault-injected to fail).
+func (s *Service) Degraded() bool { return s.degraded.Load() }
+
+// Ready reports readiness for /readyz: the service can serve
+// model-backed admissions. It is not-ready while shutting down, while
+// degraded, and before the (possibly lazy) training run has produced a
+// model — so a rollout gate waits for the cold start instead of routing
+// traffic into it.
+func (s *Service) Ready() (bool, string) {
+	if s.isClosed() {
+		return false, "shutting down"
+	}
+	if s.degraded.Load() {
+		return false, "degraded: prediction model unavailable"
+	}
+	if s.model.Load() == nil {
+		return false, "model training"
+	}
+	return true, ""
+}
+
+// InjectedDelay returns the fault schedule's request latency for the
+// current data-plane tick (0 when no latency window is active). The
+// HTTP handlers sleep it before serving, simulating a fleet-wide slow
+// patch without touching the decision logic.
+func (s *Service) InjectedDelay() time.Duration {
+	return s.injector.Delay(int(s.dpTicks.Load()))
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"github.com/coach-oss/coach/internal/resources"
 	"github.com/coach-oss/coach/internal/trace"
@@ -45,6 +46,18 @@ type AdmitResponse struct {
 	Oversubscribed bool               `json:"oversubscribed"`
 	Alloc          map[string]float64 `json:"alloc,omitempty"`
 	Guaranteed     map[string]float64 `json:"guaranteed,omitempty"`
+	// Retryable marks a rejection that capacity churn can relieve; such
+	// rejections are served as 503 with a Retry-After header.
+	Retryable bool `json:"retryable,omitempty"`
+	// Degraded reports the admission was shaped without a prediction
+	// model (fully guaranteed, best-fit).
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// ReadyResponse is the /readyz result.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // ReleaseResponse is the /v1/release result.
@@ -73,18 +86,22 @@ type ErrorResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	GET  /healthz     — liveness probe
+//	GET  /healthz     — liveness probe (process up)
+//	GET  /readyz      — readiness probe (model trained, not degraded)
 //	GET  /v1/stats    — admission counters, batching and cache stats
 //	POST /v1/predict  — per-window utilization prediction for one VM
 //	POST /v1/admit    — predict, shape into a CoachVM and place it
 //	POST /v1/release  — free an admitted VM's capacity
 //	POST /v1/report   — push live memory utilization for an admitted VM
 //
-// See docs/api.md for request/response schemas, error codes and curl
-// examples.
+// Retryable conditions — capacity/pressure rejections, a degraded
+// prediction model, shutdown — are served as 503 with a Retry-After
+// header. See docs/api.md for request/response schemas, error codes and
+// curl examples.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/admit", s.handleAdmit)
@@ -93,11 +110,37 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
+// injectDelay sleeps the fault schedule's injected latency for the
+// current tick, if any — applied to the request-serving endpoints only,
+// never the probes.
+func (s *Service) injectDelay() {
+	if d := s.InjectedDelay(); d > 0 {
+		time.Sleep(d)
+	}
+}
+
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady serves the readiness probe: 200 once the model is trained
+// and the service is not degraded or shutting down, 503 with a
+// Retry-After otherwise — so rollout gates and load balancers hold
+// traffic through cold starts and degraded windows.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	ready, reason := s.Ready()
+	if !ready {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Ready: false, Reason: reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Ready: true})
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -112,6 +155,7 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.injectDelay()
 	pred, predicted, err := s.Predict(vm)
 	if err != nil {
 		writeServiceError(w, err)
@@ -134,6 +178,7 @@ func (s *Service) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.injectDelay()
 	res, err := s.Admit(vm)
 	if err != nil {
 		if errors.Is(err, ErrAlreadyAdmitted) {
@@ -149,12 +194,22 @@ func (s *Service) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		Cluster:        res.Cluster,
 		Server:         res.Server,
 		Oversubscribed: res.Oversubscribed,
+		Retryable:      res.Retryable,
+		Degraded:       res.Degraded,
 	}
 	if res.Admitted {
 		resp.Alloc = vectorMap(res.Alloc)
 		resp.Guaranteed = vectorMap(res.Guaranteed)
 	} else if resp.Reason = res.Reason; resp.Reason == "" {
 		resp.Reason = "no server in the home cluster has capacity"
+	}
+	if !res.Admitted && res.Retryable {
+		// Transient full/pressured fleet: released capacity or a server
+		// recovery can admit this VM later — tell the client when to
+		// come back instead of making rejection look permanent.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -180,6 +235,7 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown vm %d", req.VM)})
 		return
 	}
+	s.injectDelay()
 	applied, err := s.Report(vm, req.MemoryUtil)
 	if err != nil {
 		if errors.Is(err, ErrDataPlaneDisabled) {
@@ -201,6 +257,7 @@ func (s *Service) handleRelease(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.injectDelay()
 	released, err := s.Release(vm)
 	if err != nil {
 		writeServiceError(w, err)
@@ -243,11 +300,16 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	return true
 }
 
-// writeServiceError maps service errors to status codes: shutdown is 503,
-// anything else (training failure) is a 500.
+// writeServiceError maps service errors to status codes: shutdown and an
+// unavailable prediction model (degraded mode) are 503 — the model case
+// with a Retry-After, since a later training run can recover — anything
+// else is a 500.
 func writeServiceError(w http.ResponseWriter, err error) {
 	code := http.StatusInternalServerError
-	if errors.Is(err, ErrClosed) {
+	if errors.Is(err, ErrModelUnavailable) {
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusServiceUnavailable
+	} else if errors.Is(err, ErrClosed) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})

@@ -32,6 +32,7 @@ import (
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/coachvm"
 	"github.com/coach-oss/coach/internal/core"
+	"github.com/coach-oss/coach/internal/fault"
 	"github.com/coach-oss/coach/internal/memsim"
 	"github.com/coach-oss/coach/internal/predict"
 	"github.com/coach-oss/coach/internal/resources"
@@ -43,6 +44,13 @@ import (
 // ErrDataPlaneDisabled is returned by TickDataPlane when the service was
 // built without Config.DataPlane.
 var ErrDataPlaneDisabled = errors.New("serve: data plane disabled")
+
+// ErrModelUnavailable marks predictions that failed because the model
+// could not be trained — a real training error or an injected
+// train-fail fault. The service runs degraded: admissions fall back to
+// fully-guaranteed best-fit placement, predictions map to HTTP 503 with
+// a Retry-After, and /readyz reports not-ready.
+var ErrModelUnavailable = errors.New("serve: prediction model unavailable")
 
 // dpTickSeconds is the simulated length of one data-plane tick: one
 // 5-minute utilization sample, matching the cluster simulator's replay
@@ -103,6 +111,15 @@ type Config struct {
 	// is thrashing, and rejecting it when no server in the home cluster
 	// can absorb it (even if raw capacity exists). Requires DataPlane.
 	AdmitPressureFrac float64
+	// Faults optionally supplies a compiled fault schedule (internal/
+	// fault) — the same schedule the simulator applies for this spec, so
+	// one scenario drives identical failure sequences in both. Server
+	// crash/recover events apply on data-plane ticks; train-fail forces
+	// degraded (best-fit-only) serving; latency windows delay requests;
+	// handoff crash points kill the cross-shard handoff coordinator
+	// mid-protocol, exercising the intent-log recovery sweep. See
+	// docs/DESIGN.md §13.
+	Faults *fault.Schedule
 }
 
 // DefaultConfig returns the paper's deployed configuration with
@@ -225,6 +242,31 @@ type Service struct {
 	// the per-request fast path lock-free (modelMu only guards training).
 	model   atomic.Pointer[predict.LongTerm]
 	modelMu sync.Mutex
+
+	// Failure-domain state (docs/DESIGN.md §13). injector fires the
+	// serving-only faults (handoff crash points, injected request
+	// latency); fEvents/fi walk the compiled server crash/recover
+	// events, applied at the top of each data-plane tick; intents is the
+	// write-ahead log of in-flight cross-shard handoffs, swept for
+	// crash recovery before every tick; degraded flips when model
+	// training fails and the service falls back to best-fit-only
+	// admission.
+	injector *fault.Injector
+	fMu      sync.Mutex
+	fEvents  []fault.Event
+	fi       int
+
+	intentMu sync.Mutex
+	intents  map[int]*handoffIntent
+
+	degraded atomic.Bool
+
+	// Failure-domain counters, surfaced in Stats.
+	crashes     atomic.Int64
+	recoveries  atomic.Int64
+	evictedVMs  atomic.Int64
+	replacedVMs atomic.Int64
+	lostVMs     atomic.Int64
 }
 
 // New builds a service over tr and fleet. The model is trained lazily on
@@ -275,6 +317,9 @@ func New(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Service, error) {
 		vmByID:   make(map[int]*trace.VM, len(tr.VMs)),
 		route:    make(map[int]int),
 		key:      ModelKey{TraceID: Fingerprint(tr), TrainUpTo: cfg.TrainUpTo, Config: keyCfg},
+		injector: fault.NewInjector(cfg.Faults),
+		fEvents:  cfg.Faults.Events(),
+		intents:  make(map[int]*handoffIntent),
 	}
 	for i := range tr.VMs {
 		s.vmByID[tr.VMs[i].ID] = &tr.VMs[i]
@@ -322,7 +367,9 @@ func New(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Service, error) {
 
 // modelFor returns the trained model, training through the cache on first
 // use. Concurrent callers on a cold cache block on one training run;
-// afterwards the lookup is a lock-free atomic load.
+// afterwards the lookup is a lock-free atomic load. A failed (or
+// fault-injected) training run marks the service degraded and returns
+// ErrModelUnavailable; a later successful run clears the flag.
 func (s *Service) modelFor() (*predict.LongTerm, error) {
 	if m := s.model.Load(); m != nil {
 		return m, nil
@@ -332,12 +379,20 @@ func (s *Service) modelFor() (*predict.LongTerm, error) {
 	if m := s.model.Load(); m != nil {
 		return m, nil
 	}
+	if s.cfg.Faults.TrainFail() {
+		// Injected training failure: degraded for the process lifetime,
+		// exactly like a training run that errored and keeps erroring.
+		s.degraded.Store(true)
+		return nil, fmt.Errorf("%w: injected training failure", ErrModelUnavailable)
+	}
 	m, err := s.cache.Get(s.key, func() (*predict.LongTerm, error) {
 		return predict.TrainLongTerm(s.tr, s.key.TrainUpTo, s.trainCfg)
 	})
 	if err != nil {
-		return nil, err
+		s.degraded.Store(true)
+		return nil, fmt.Errorf("%w: %v", ErrModelUnavailable, err)
 	}
+	s.degraded.Store(false)
 	s.model.Store(m)
 	return m, nil
 }
@@ -401,6 +456,13 @@ type AdmitResult struct {
 	// always-backed portion.
 	Alloc      resources.Vector
 	Guaranteed resources.Vector
+	// Retryable marks rejections worth retrying later: capacity or pool
+	// pressure that admitted VMs releasing (or servers recovering) can
+	// relieve. HTTP maps them to 503 + Retry-After.
+	Retryable bool
+	// Degraded reports that the admission was shaped without a model
+	// (training failed): the VM was placed fully guaranteed, best-fit.
+	Degraded bool
 }
 
 // Admit predicts vm, shapes it into a CoachVM under the configured policy
@@ -415,8 +477,15 @@ type AdmitResult struct {
 // capacity exists — when every pool in the home cluster is thrashing.
 func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
 	pred, ok, err := s.Predict(vm)
+	degraded := false
 	if err != nil {
-		return AdmitResult{}, err
+		if !errors.Is(err, ErrModelUnavailable) {
+			return AdmitResult{}, err
+		}
+		// Degraded admission: no model, no oversubscription — the VM is
+		// shaped fully guaranteed and best-fit placed, the safe envelope
+		// §3.3 prescribes for unpredictable VMs.
+		pred, ok, degraded = coachvm.Prediction{}, false, true
 	}
 	cvm, err := scheduler.BuildCVM(s.cfg.Policy, vm.ID, vm.Alloc, pred, ok, s.cfg.Windows)
 	if err != nil {
@@ -429,6 +498,7 @@ func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
 		Oversubscribed: ok && s.cfg.Policy != scheduler.PolicyNone,
 		Alloc:          vm.Alloc,
 		Guaranteed:     cvm.Guaranteed,
+		Degraded:       degraded,
 	}
 	if s.routedShard(vm.ID) >= 0 {
 		return res, fmt.Errorf("serve: vm %d %w", vm.ID, ErrAlreadyAdmitted)
@@ -458,6 +528,7 @@ func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
 				sh.rejected++
 				sh.pressureRejected++
 				res.Reason = "pool pressure: no server in the home cluster can absorb the VM's oversubscribed demand"
+				res.Retryable = true
 				return res, nil
 			}
 		}
@@ -466,6 +537,7 @@ func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
 		if srv, placed = sh.sched.Place(cvm); !placed {
 			sh.rejected++
 			res.Reason = "no server in the home cluster has capacity"
+			res.Retryable = true
 			return res, nil
 		}
 	}
@@ -540,7 +612,15 @@ func (s *Service) Release(vm *trace.VM) (released bool, err error) {
 		if cvm, _ := sh.sched.Remove(vm.ID); cvm == nil {
 			sh.mu.Unlock()
 			if routed && attempt < 1000 {
-				// In-flight handoff: yield until it commits or cancels.
+				// In-flight handoff: drive its intent forward (the
+				// coordinator may have crashed mid-protocol — the intent
+				// log makes completion safe from any caller), then yield
+				// until it commits or cancels.
+				if in := s.intentFor(vm.ID); in != nil {
+					if err := s.driveHandoff(in); err != nil {
+						return false, err
+					}
+				}
 				runtime.Gosched()
 				continue
 			}
@@ -598,10 +678,13 @@ func (s *Service) Report(vm *trace.VM, memUtil float64) (applied bool, err error
 // agent's monitoring/prediction/mitigation pass, and completed live
 // migrations resolve through the shard's migration engine under its lock
 // — scheduler bookkeeping and memory moving together. Migrations with no
-// unpressured same-shard target hand off cross-shard afterwards
-// (applyHandoff). cmd/coachd calls it on a wall-clock timer
-// (-dp-interval); tests drive it directly. It returns
-// ErrDataPlaneDisabled when the service was built without a data plane.
+// unpressured same-shard target hand off cross-shard afterwards through
+// the write-ahead intent log (driveHandoff). Each tick first sweeps that
+// log for intents a crashed coordinator left mid-protocol, then applies
+// any compiled fault events due this tick (server crashes/recoveries).
+// cmd/coachd calls it on a wall-clock timer (-dp-interval); tests drive
+// it directly. It returns ErrDataPlaneDisabled when the service was
+// built without a data plane.
 func (s *Service) TickDataPlane() error {
 	if s.isClosed() {
 		return ErrClosed
@@ -610,6 +693,15 @@ func (s *Service) TickDataPlane() error {
 		return ErrDataPlaneDisabled
 	}
 	tick := int(s.dpTicks.Load())
+	// Recovery sweep before fault application: intents parked by a
+	// crashed coordinator complete (or roll back) while the fleet state
+	// they reference is still the state they were logged against.
+	if err := s.recoverHandoffs(); err != nil {
+		return err
+	}
+	if err := s.applyFaultEvents(tick); err != nil {
+		return err
+	}
 	var handoffs []core.MigrationRequest
 	for _, sh := range s.shards {
 		sh.mu.Lock()
@@ -638,117 +730,11 @@ func (s *Service) TickDataPlane() error {
 		sh.mu.Unlock()
 	}
 	for _, req := range handoffs {
-		if err := s.applyHandoff(req); err != nil {
+		if err := s.driveHandoff(s.newIntent(req)); err != nil {
 			return err
 		}
 	}
 	s.dpTicks.Add(1)
-	return nil
-}
-
-// applyHandoff lands one cross-shard migration request with a two-phase
-// (reserve-then-commit) protocol that never holds two shard locks at
-// once:
-//
-//  1. Pick: poll every other shard (one lock at a time) for its best
-//     unpressured best-fit server.
-//  2. Reserve: place the CoachVM on the chosen destination — capacity is
-//     now held at the destination while the source still holds its own,
-//     so a concurrent admission cannot squeeze the VM out mid-flight.
-//  3. Release: verify the VM still lives on its source server (a
-//     concurrent Release may have dropped it — then the reservation is
-//     cancelled and the in-flight memory discarded), remove the source
-//     bookkeeping and utilization tracking.
-//  4. Commit: attach the memory at the destination, pre-copied pages
-//     arriving resident, and update the route so Release/Report find
-//     the VM in its new shard.
-//
-// Requests no shard can absorb settle back in their home shard through
-// the engine's same-shard fallback.
-func (s *Service) applyHandoff(req core.MigrationRequest) error {
-	bestShard, found := -1, false
-	var bestCand scheduler.Candidate
-	for j, dst := range s.shards {
-		if j == req.SrcShard || dst.eng == nil {
-			continue
-		}
-		dst.mu.Lock()
-		c, ok := dst.eng.PickInbound(req)
-		dst.mu.Unlock()
-		// Strict > keeps the lowest shard index on score ties.
-		if ok && (!found || c.Score > bestCand.Score) {
-			bestShard, bestCand, found = j, c, true
-		}
-	}
-	src := s.shards[req.SrcShard]
-	if !found {
-		return s.settleHome(src, req)
-	}
-	dst := s.shards[bestShard]
-
-	// Phase 1: reserve capacity at the destination.
-	dst.mu.Lock()
-	err := dst.eng.Reserve(req, bestCand.Server)
-	dst.mu.Unlock()
-	if err != nil {
-		// The candidate filled up between pick and reserve; settle at
-		// home rather than retrying a moving target.
-		return s.settleHome(src, req)
-	}
-
-	// Phase 2: release the source, verifying the exact CoachVM we are
-	// migrating is still placed there. Pointer identity — not the
-	// (VMID, server) pair — guards against the ABA race where a
-	// concurrent Release and re-Admit put a fresh CVM with the same id
-	// back on the same server mid-flight; hijacking that admission
-	// would orphan its new data-plane attachment.
-	src.mu.Lock()
-	if src.sched == nil || src.sched.CVM(req.VMID) != req.CVM {
-		src.mu.Unlock()
-		dst.mu.Lock()
-		dst.eng.CancelReservation(req.VMID)
-		dst.mu.Unlock()
-		return nil // released mid-flight: the in-flight memory has no owner, drop it
-	}
-	src.eng.ReleaseSource(req.VMID)
-	tracked := src.dpVMs[req.VMID]
-	delete(src.dpVMs, req.VMID)
-	src.crossShardMigs++
-	src.mu.Unlock()
-
-	// Phase 3: commit the memory at the destination.
-	dst.mu.Lock()
-	plan, err := dst.eng.CommitInbound(req, bestCand.Server)
-	if err == nil {
-		if tracked == nil {
-			tracked = &dpTracked{vm: s.vmByID[req.VMID]}
-		}
-		dst.dpVMs[req.VMID] = tracked
-		dst.dp.SetWSS(req.VMID, tracked.wss())
-		dst.warmArrivedGB += plan.WarmGB
-	}
-	dst.mu.Unlock()
-	if err != nil {
-		return err
-	}
-	s.setRoute(req.VMID, bestShard)
-	return nil
-}
-
-// settleHome lands a declined cross-shard request back in its home shard
-// (least-pressured feasible server, else a warm re-land on the source),
-// unless the VM was released mid-flight.
-func (s *Service) settleHome(src *fleetShard, req core.MigrationRequest) error {
-	src.mu.Lock()
-	defer src.mu.Unlock()
-	if src.sched == nil || src.sched.CVM(req.VMID) != req.CVM {
-		return nil // released (or released and re-admitted) mid-flight
-	}
-	plan, err := src.eng.Settle(req)
-	if err != nil {
-		return err
-	}
-	src.countPlan(plan)
 	return nil
 }
 
@@ -809,11 +795,27 @@ type DataPlaneStats struct {
 	// home cluster could absorb the VM's oversubscribed demand
 	// (Config.AdmitPressureFrac).
 	PressureRejected int64 `json:"pressure_rejected"`
+	// Failure-domain counters (docs/DESIGN.md §13): applied server
+	// crash/recover fault events, VMs evicted by crashes, and their fate
+	// (re-admitted elsewhere vs lost — no feasible server remained).
+	Crashes     int64 `json:"crashes"`
+	Recoveries  int64 `json:"recoveries"`
+	EvictedVMs  int64 `json:"evicted_vms"`
+	ReplacedVMs int64 `json:"replaced_vms"`
+	LostVMs     int64 `json:"lost_vms"`
+	// PendingHandoffs is the current depth of the cross-shard handoff
+	// intent log — non-zero only while a handoff is mid-protocol (or
+	// parked awaiting the next recovery sweep).
+	PendingHandoffs int `json:"pending_handoffs"`
 }
 
 // Stats is a point-in-time snapshot of the service.
 type Stats struct {
-	Policy    string         `json:"policy"`
+	Policy string `json:"policy"`
+	// Degraded reports that the service is running without a prediction
+	// model (training failed or was fault-injected to fail): admissions
+	// fall back to fully-guaranteed best-fit and /readyz is not-ready.
+	Degraded  bool           `json:"degraded"`
 	Placed    int            `json:"placed"`
 	Clusters  []ClusterStats `json:"clusters"`
 	Batch     BatchStats     `json:"batch"`
@@ -825,6 +827,7 @@ type Stats struct {
 // model-cache behaviour and the data-plane aggregates.
 func (s *Service) Stats() Stats {
 	st := Stats{Policy: s.cfg.Policy.String(), Cache: s.cache.Stats()}
+	st.Degraded = s.degraded.Load()
 	if s.batcher != nil {
 		st.Batch = s.batcher.stats()
 	}
@@ -833,6 +836,12 @@ func (s *Service) Stats() Stats {
 		st.DataPlane.Policy = s.cfg.MitigationPolicy.String()
 		st.DataPlane.Mode = s.cfg.MitigationMode.String()
 		st.DataPlane.Ticks = s.dpTicks.Load()
+		st.DataPlane.Crashes = s.crashes.Load()
+		st.DataPlane.Recoveries = s.recoveries.Load()
+		st.DataPlane.EvictedVMs = s.evictedVMs.Load()
+		st.DataPlane.ReplacedVMs = s.replacedVMs.Load()
+		st.DataPlane.LostVMs = s.lostVMs.Load()
+		st.DataPlane.PendingHandoffs = s.pendingHandoffs()
 	}
 	var totals memsim.Totals
 	var counters core.AgentCounters

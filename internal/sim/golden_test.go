@@ -49,6 +49,10 @@ func TestGoldenEquivalence(t *testing.T) {
 
 			base := ConfigForPolicy(scheduler.PolicyAggrCoach)
 			base.TrainUpTo = tr.Horizon / 2
+			// Threading the source spec lets Run compile its faults: section
+			// (if any), so the chaos preset pins golden equivalence under an
+			// active fault schedule too.
+			base.Scenario = sp
 			ltCfg := base.LongTerm
 			ltCfg.Windows = base.Windows
 			ltCfg.Percentile = base.Percentile
@@ -85,6 +89,9 @@ func TestGoldenEquivalence(t *testing.T) {
 					}
 					if dense.Requested == 0 || dense.Placed == 0 {
 						t.Fatalf("fixture regression: no work done: %+v", summary(dense))
+					}
+					if len(sp.Faults) > 0 && (dense.Faults == nil || dense.Faults.Crashes == 0) {
+						t.Fatalf("fixture regression: fault schedule never fired: %+v", dense.Faults)
 					}
 					golden := encodeResult(t, dense)
 					for _, workers := range []int{1, 2, 8} {

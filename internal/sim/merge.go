@@ -16,6 +16,9 @@ func merge(cfg Config, shardResults []*shardResult, ticks int) *Result {
 	if cfg.DataPlane {
 		res.DataPlane = newDataPlaneResult(cfg)
 	}
+	if !cfg.Faults.Empty() {
+		res.Faults = &FaultResult{}
+	}
 	usedByTick := make([]int, ticks)
 	for _, sr := range shardResults {
 		res.Requested += sr.requested
@@ -31,6 +34,9 @@ func merge(cfg Config, shardResults []*shardResult, ticks int) *Result {
 		res.Outcomes = append(res.Outcomes, sr.outcomes...)
 		if res.DataPlane != nil && sr.dataPlane != nil {
 			res.DataPlane.merge(sr.dataPlane)
+		}
+		if res.Faults != nil {
+			res.Faults.merge(sr.faults)
 		}
 	}
 	for _, u := range usedByTick {

@@ -7,6 +7,7 @@ import (
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/coachvm"
 	"github.com/coach-oss/coach/internal/core"
+	"github.com/coach-oss/coach/internal/fault"
 	"github.com/coach-oss/coach/internal/predict"
 	"github.com/coach-oss/coach/internal/resources"
 	"github.com/coach-oss/coach/internal/scheduler"
@@ -49,6 +50,9 @@ type shardResult struct {
 	// dataPlane carries the shard's fleet-memory aggregates (nil when
 	// Config.DataPlane is off).
 	dataPlane *DataPlaneResult
+	// faults accumulates the shard's failure-domain counters (all zero
+	// when no fault schedule is active).
+	faults FaultResult
 }
 
 // buildShards partitions the fleet into per-cluster shards and routes each
@@ -169,15 +173,25 @@ type shardState struct {
 	// sample-boundary exchange.
 	outbox []migRequest
 
+	// fEvents is the shard's slice of the compiled fault schedule (nil
+	// without faults); fi is the applied-events cursor.
+	fEvents []fault.Event
+	fi      int
+
 	// Event-core state (nil/unused under EngineDense). queue holds one
-	// pending utilization-change event per placed VM; due and slots are
-	// per-tick scratch. Contention is settled incrementally: violCPU /
-	// violMem mirror each server's contended-or-not state with running
-	// counts, and dirty lists the servers whose demand, backing or
-	// population changed this tick and need their flags re-derived.
+	// pending utilization-change event per placed VM; due, slots and
+	// slotPos are per-tick scratch — slots collects the VM ids due a
+	// demand re-sync (by id, not record index: crash evictions can
+	// swap-remove records between a slot's append and the delta pass),
+	// slotPos their resolved record positions. Contention is settled
+	// incrementally: violCPU / violMem mirror each server's
+	// contended-or-not state with running counts, and dirty lists the
+	// servers whose demand, backing or population changed this tick and
+	// need their flags re-derived.
 	queue     *eventQueue
 	due       []int
 	slots     []int
+	slotPos   []int
 	violCPU   []bool
 	violMem   []bool
 	cpuViol   int
@@ -220,6 +234,7 @@ func newShardState(sh *shard, tr *trace.Trace, model *predict.LongTerm, cfg Conf
 		st.violMem = make([]bool, len(st.servers))
 		st.dirtyFlag = make([]bool, len(st.servers))
 	}
+	st.fEvents = cfg.Faults.ForShard(sh.index)
 	return st, nil
 }
 
@@ -262,7 +277,15 @@ func (st *shardState) scheduleNext(r *placedRec, t int) {
 // updates happen in deterministic (event/slice) order, so float sums are
 // bit-reproducible across runs and worker counts.
 func (st *shardState) step(t int) error {
-	// Migration-injected departures first: like the event stream's
+	// Fault events first: a server crashing this tick evicts its VMs
+	// before the tick's departures fire and its recovered capacity (or
+	// its absence) shapes this tick's placements.
+	if st.fEvents != nil {
+		if err := st.applyFaults(t); err != nil {
+			return err
+		}
+	}
+	// Migration-injected departures next: like the event stream's
 	// departures-before-arrivals discipline, they free capacity before
 	// this tick's arrivals place.
 	for st.xi < len(st.extra) && st.extra[st.xi].sample == t {
@@ -312,11 +335,9 @@ func (st *shardState) step(t int) error {
 		if st.queue != nil {
 			// The event core applies the new record's demand this tick via
 			// its slot; scheduleNext (in the delta pass) queues the rest of
-			// its life. Slots appended here stay valid: within a tick all
-			// removals sort before placements, so nothing swap-removes
-			// after this point.
+			// its life.
 			st.recs[len(st.recs)-1].changes = ev.vm.ChangePoints()
-			st.slots = append(st.slots, len(st.recs)-1)
+			st.slots = append(st.slots, ev.vm.ID)
 			st.touchServer(srv)
 		}
 		if st.sdp != nil && st.sdp.dp != nil {
@@ -379,27 +400,39 @@ func (st *shardState) denseDeltaPass(t int) {
 }
 
 // eventDeltaPass is the event core's demand pass: only VMs with a
-// pending change event (popped from the calendar queue) or placed this
-// tick are visited. Slots are applied in ascending order — the same
-// order the dense pass walks st.recs — and with the same cur != last
-// guard, so the float accumulation into st.demand is bit-identical:
-// every slot the dense pass would have updated has a change point here
-// (utilUnchanged ⇔ no change point at this offset), and spurious events
-// for unchanged demand no-op on the guard.
+// pending change event (popped from the calendar queue), placed this
+// tick, or re-admitted by a crash are visited. Slots carry VM ids and
+// resolve to record positions here — a crash eviction swap-removes
+// records mid-tick, so positions captured earlier could go stale — then
+// apply in ascending position order, the same order the dense pass
+// walks st.recs, with the same cur != last guard, so the float
+// accumulation into st.demand is bit-identical: every slot the dense
+// pass would have updated has a change point here (utilUnchanged ⇔ no
+// change point at this offset), and spurious events for unchanged
+// demand no-op on the guard. Duplicate positions (a re-admitted VM
+// whose stale queue event also popped) are deduped after the sort.
 func (st *shardState) eventDeltaPass(t int) {
 	st.due = st.queue.PopDue(t, st.due[:0])
-	for _, id := range st.due {
-		// A popped ID missing from pos is a stale event: the VM departed
-		// or emigrated to another shard. IDs are never reused, so the map
-		// lookup is a complete filter and events need no cancellation.
+	// st.slots already holds this tick's placements and re-admissions.
+	st.slots = append(st.slots, st.due...)
+	st.slotPos = st.slotPos[:0]
+	for _, id := range st.slots {
+		// An id missing from pos is a stale event: the VM departed,
+		// emigrated to another shard, or was lost to a crash. Ids are
+		// never reused, so the map lookup is a complete filter and events
+		// need no cancellation.
 		if p, ok := st.pos[id]; ok {
-			st.slots = append(st.slots, p)
+			st.slotPos = append(st.slotPos, p)
 		}
 	}
-	// st.slots already holds this tick's new placements (disjoint from
-	// popped IDs — a VM's first event is only queued at placement).
-	sort.Ints(st.slots)
-	for _, si := range st.slots {
+	sort.Ints(st.slotPos)
+	applied, prev := 0, -1
+	for _, si := range st.slotPos {
+		if si == prev {
+			continue
+		}
+		prev = si
+		applied++
 		r := &st.recs[si]
 		cur := r.vm.DemandAt(t)
 		if cur != r.last {
@@ -414,7 +447,7 @@ func (st *shardState) eventDeltaPass(t int) {
 		st.scheduleNext(r, t)
 	}
 	if st.cfg.VisitCounter != nil {
-		atomic.AddInt64(st.cfg.VisitCounter, int64(len(st.slots)))
+		atomic.AddInt64(st.cfg.VisitCounter, int64(applied))
 	}
 	st.slots = st.slots[:0]
 }

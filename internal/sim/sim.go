@@ -26,6 +26,7 @@ import (
 	"github.com/coach-oss/coach/internal/agent"
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/coachvm"
+	"github.com/coach-oss/coach/internal/fault"
 	"github.com/coach-oss/coach/internal/predict"
 	"github.com/coach-oss/coach/internal/resources"
 	"github.com/coach-oss/coach/internal/scenario"
@@ -106,6 +107,17 @@ type Config struct {
 	// half the spec's horizon. When both a trace and a Scenario are
 	// given, the trace wins — the Scenario is assumed to be its source.
 	Scenario *scenario.Spec
+	// Faults optionally supplies a pre-compiled fault schedule (see
+	// internal/fault). When nil and Config.Scenario declares faults, Run
+	// compiles the scenario's faults against the fleet's shard shape, so
+	// one spec drives the identical fault schedule here and in a live
+	// coachd. Server crash/recover events apply at the top of each
+	// evaluation tick in both engines; train-fail skips model training
+	// (every admission degrades to the fully-guaranteed best-fit split);
+	// serving-only faults (latency, handoff crash points) are ignored.
+	// Result.Faults then reports crash/eviction/loss/downtime counters,
+	// still byte-identical for any Workers value. See docs/DESIGN.md §13.
+	Faults *fault.Schedule
 	// Engine selects the replay core. EngineEvent (the zero value)
 	// drives each shard from a calendar queue of per-VM utilization
 	// change events and skips steady data-plane servers; EngineDense is
@@ -222,6 +234,9 @@ type Result struct {
 	// Config.DataPlane was set): mitigation and paging volumes, agent
 	// counters and the access-latency distribution.
 	DataPlane *DataPlaneResult
+	// Faults aggregates the failure-domain engine's counters (nil unless
+	// a fault schedule was active). See docs/DESIGN.md §13.
+	Faults *FaultResult
 }
 
 // CPUViolationFrac returns CPU-contended slots as a fraction of slots.
@@ -300,8 +315,27 @@ func Run(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	if cfg.Faults == nil && cfg.Scenario != nil && len(cfg.Scenario.Faults) > 0 {
+		groups := fleet.Shards()
+		sizes := make([]int, len(groups))
+		for i, g := range groups {
+			sizes[i] = len(g)
+		}
+		var err error
+		cfg.Faults, err = fault.Compile(cfg.Scenario.Faults, cfg.Scenario.Seed,
+			sizes, tr.Horizon-cfg.TrainUpTo)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	model := cfg.Model
-	if model == nil && cfg.Policy != scheduler.PolicyNone {
+	if cfg.Faults.TrainFail() {
+		// Injected training failure: the run degrades exactly like a live
+		// coachd whose lazy training errored — no model, every VM admitted
+		// on its fully-guaranteed best-fit split.
+		model = nil
+	} else if model == nil && cfg.Policy != scheduler.PolicyNone {
 		ltCfg := cfg.LongTerm
 		ltCfg.Windows = cfg.Windows
 		ltCfg.Percentile = cfg.Percentile
