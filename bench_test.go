@@ -273,6 +273,61 @@ func BenchmarkForestTrain(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictMatrix measures the forest inference hot path across a
+// trees × depth × batch grid under both layouts: the per-row pointer walk
+// (layout=walk, one Predict call per row — the pre-batching shape of every
+// admission and what-if decision) and the level-synchronous breadth-first
+// path (layout=matrix, one PredictMatrix pass over a feature-major
+// RowMatrix; docs/DESIGN.md §14). The two layouts produce bit-identical
+// predictions (pinned by the mlforest equivalence wall), so the grid
+// differs only in throughput; each sub-benchmark reports ns/row so points
+// with different batch sizes are comparable. Before/after numbers are
+// recorded in BENCH_predict.json and the matrix:walk ns/row ratio is
+// gated by cmd/coach-benchdiff -grid predict in CI.
+func BenchmarkPredictMatrix(b *testing.B) {
+	const poolRows = 4096
+	pool := mlforest.TraceLikeSamples(poolRows, 23)
+	for _, trees := range []int{8, 40} {
+		for _, depth := range []int{6, 12} {
+			cfg := mlforest.DefaultForestConfig()
+			cfg.Trees = trees
+			cfg.Tree.MaxDepth = depth
+			f, err := mlforest.Train(mlforest.TraceLikeSamples(3000, 17), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, batch := range []int{1, 64, 4096} {
+				rows := make([][]float64, batch)
+				for i := range rows {
+					rows[i] = pool[i%poolRows].Features
+				}
+				m := mlforest.NewRowMatrix(batch, f.NumFeatures())
+				for i, r := range rows {
+					m.SetRow(i, r)
+				}
+				out := make([]float64, batch)
+				grid := fmt.Sprintf("trees=%d/depth=%d/batch=%d", trees, depth, batch)
+				b.Run(grid+"/layout=walk", func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						for j, r := range rows {
+							out[j] = f.Predict(r)
+						}
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(batch), "ns/row")
+				})
+				b.Run(grid+"/layout=matrix", func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						f.PredictMatrix(m, out)
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(batch), "ns/row")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkColdStart measures a serve ModelCache miss through to the first
 // prediction: every iteration constructs a service with a fresh cache, so
 // the timed region is dominated by training the 8 per-(resource, target)

@@ -1,27 +1,37 @@
-// Command coach-benchdiff gates CI on the simulator-core benchmark grid:
-// it parses `go test -bench` output for the BenchmarkSimCore grid and
-// compares every grid point against the committed BENCH_simcore.json
-// baseline. Exit status 1 means a regression (or a missing grid point).
+// Command coach-benchdiff gates CI on a committed benchmark-grid
+// baseline: it parses `go test -bench` output for one of the repo's
+// two-variant benchmark grids and compares every grid point against the
+// matching BENCH_*.json file. Exit status 1 means a regression (or a
+// missing grid point).
 //
 // Usage:
 //
 //	go test -run=NONE -bench='^BenchmarkSimCore$' -benchtime=3x . > out.txt
-//	coach-benchdiff -baseline BENCH_simcore.json [-tolerance 0.25] out.txt
+//	coach-benchdiff -grid simcore [-tolerance 0.25] out.txt
+//
+//	go test -run=NONE -bench='^BenchmarkPredictMatrix$' . > out.txt
+//	coach-benchdiff -grid predict [-tolerance 0.25] out.txt
 //
 // With no file argument the bench output is read from stdin.
 //
-// Two checks run per grid point, chosen to be meaningful across machines
-// (raw ns/op on shared CI runners is far too noisy to gate on):
+// Each grid measures the same work under two variants — simcore runs the
+// dense reference replay loop against the event-driven core, predict runs
+// the per-row pointer walk against the level-synchronous PredictMatrix
+// path — and the checks are chosen to be meaningful across machines (raw
+// ns/op on shared CI runners is far too noisy to gate on):
 //
-//   - visits/op — the number of placed-VM records the shard loop touched
-//     per replay, reported via sim.Config.VisitCounter — must match the
-//     baseline within the tolerance for each engine. The count is
+//   - visits/op, where the grid reports it (simcore), must match the
+//     baseline within the tolerance for each variant. The count is
 //     deterministic, so any drift is a behavioural change: the event
 //     core visiting VMs it used to skip is exactly the regression this
 //     gate exists to catch.
-//   - the event:dense ns/op ratio must not exceed its baseline ratio by
-//     more than the tolerance. Comparing the two engines on the same
-//     host in the same run cancels machine speed out of the gate.
+//   - the variant ratio (event:dense ns/op for simcore, matrix:walk
+//     ns/row for predict) must not exceed its baseline ratio by more
+//     than the tolerance. Comparing the two variants on the same host in
+//     the same run cancels machine speed out of the gate; for predict
+//     this is the batched-inference speedup recorded in
+//     BENCH_predict.json, so the gate fires when the level-synchronous
+//     path loses ground to the walk it replaced.
 //
 // Baseline grid points whose names never appear in the bench output fail
 // the gate too — a renamed or silently skipped benchmark would otherwise
@@ -46,14 +56,68 @@ import (
 // engineSample is one (grid point, engine) measurement.
 type engineSample struct {
 	NsPerOp     float64 `json:"ns_per_op"`
-	VisitsPerOp float64 `json:"visits_per_op"`
+	NsPerRow    float64 `json:"ns_per_row,omitempty"`
+	VisitsPerOp float64 `json:"visits_per_op,omitempty"`
 }
 
-// gridPoint is one preset/size/workers configuration measured under both
-// engines.
+// gridPoint is one grid configuration measured under both variants. The
+// simcore grid fills dense/event, the predict grid walk/matrix.
 type gridPoint struct {
-	Dense *engineSample `json:"dense"`
-	Event *engineSample `json:"event"`
+	Dense  *engineSample `json:"dense,omitempty"`
+	Event  *engineSample `json:"event,omitempty"`
+	Walk   *engineSample `json:"walk,omitempty"`
+	Matrix *engineSample `json:"matrix,omitempty"`
+}
+
+func (p *gridPoint) sample(name string) *engineSample {
+	switch name {
+	case "dense":
+		return p.Dense
+	case "event":
+		return p.Event
+	case "walk":
+		return p.Walk
+	case "matrix":
+		return p.Matrix
+	}
+	return nil
+}
+
+func (p *gridPoint) setSample(name string, s *engineSample) {
+	switch name {
+	case "dense":
+		p.Dense = s
+	case "event":
+		p.Event = s
+	case "walk":
+		p.Walk = s
+	case "matrix":
+		p.Matrix = s
+	}
+}
+
+// gridSpec describes one gated benchmark grid: which path segment names
+// the variant, which variant is the reference and which the optimized
+// path, and which reported metric feeds the ratio check.
+type gridSpec struct {
+	baseline   string // default -baseline
+	seg        string // variant path-segment prefix, e.g. "engine="
+	base, alt  string // reference and optimized variant names
+	metricName string // reported metric feeding the ratio check
+	metric     func(*engineSample) float64
+}
+
+var grids = map[string]gridSpec{
+	"simcore": {
+		baseline: "BENCH_simcore.json", seg: "engine=",
+		base: "dense", alt: "event",
+		metricName: "ns/op", metric: func(s *engineSample) float64 { return s.NsPerOp },
+	},
+	"predict": {
+		baseline: "BENCH_predict.json", seg: "layout=",
+		base: "walk", alt: "matrix",
+		metricName: "ns/row", metric: func(s *engineSample) float64 { return s.NsPerRow },
+	},
 }
 
 // baseline mirrors BENCH_simcore.json. Narrative fields (description,
@@ -67,9 +131,18 @@ type baseline struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_simcore.json", "committed baseline JSON")
-	tolerance := flag.Float64("tolerance", 0.25, "allowed relative drift for visits/op and for the event:dense ns/op ratio")
+	gridName := flag.String("grid", "simcore", "benchmark grid to gate: simcore or predict")
+	baselinePath := flag.String("baseline", "", "committed baseline JSON (defaults per -grid)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative drift for visits/op and for the variant ratio")
 	flag.Parse()
+
+	spec, ok := grids[*gridName]
+	if !ok {
+		fatal(fmt.Errorf("unknown -grid %q (want simcore or predict)", *gridName))
+	}
+	if *baselinePath == "" {
+		*baselinePath = spec.baseline
+	}
 
 	base, err := loadBaseline(*baselinePath)
 	if err != nil {
@@ -84,7 +157,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	got, err := parseBench(in)
+	got, err := parseBench(in, spec)
 	if err != nil {
 		fatal(err)
 	}
@@ -109,11 +182,11 @@ func main() {
 				continue
 			}
 			checked++
-			failures = append(failures, checkPoint(key, want, have, *tolerance)...)
+			failures = append(failures, checkPoint(key, want, have, *tolerance, spec)...)
 		}
 	}
 	if checked == 0 {
-		failures = append(failures, "no baseline grid point found in bench output (did BenchmarkSimCore run?)")
+		failures = append(failures, fmt.Sprintf("no baseline grid point found in bench output (did the %s grid run?)", *gridName))
 	}
 
 	if len(failures) > 0 {
@@ -126,31 +199,31 @@ func main() {
 }
 
 // checkPoint compares one measured grid point against its baseline.
-func checkPoint(key string, want, have gridPoint, tol float64) []string {
+func checkPoint(key string, want, have gridPoint, tol float64, spec gridSpec) []string {
 	var out []string
-	for _, e := range []struct {
-		name       string
-		want, have *engineSample
-	}{{"dense", want.Dense, have.Dense}, {"event", want.Event, have.Event}} {
-		if e.want == nil {
+	for _, name := range []string{spec.base, spec.alt} {
+		w, h := want.sample(name), have.sample(name)
+		if w == nil {
 			continue
 		}
-		if e.have == nil {
-			out = append(out, fmt.Sprintf("%s: engine=%s missing from bench output", key, e.name))
+		if h == nil {
+			out = append(out, fmt.Sprintf("%s: %s%s missing from bench output", key, spec.seg, name))
 			continue
 		}
-		if drift := relDrift(e.have.VisitsPerOp, e.want.VisitsPerOp); drift > tol {
-			out = append(out, fmt.Sprintf("%s engine=%s: visits/op %.0f vs baseline %.0f (%+.0f%%)",
-				key, e.name, e.have.VisitsPerOp, e.want.VisitsPerOp, 100*(e.have.VisitsPerOp/e.want.VisitsPerOp-1)))
+		if drift := relDrift(h.VisitsPerOp, w.VisitsPerOp); drift > tol {
+			out = append(out, fmt.Sprintf("%s %s%s: visits/op %.0f vs baseline %.0f (%+.0f%%)",
+				key, spec.seg, name, h.VisitsPerOp, w.VisitsPerOp, 100*(h.VisitsPerOp/w.VisitsPerOp-1)))
 		}
 	}
-	if want.Dense != nil && want.Event != nil && have.Dense != nil && have.Event != nil &&
-		want.Dense.NsPerOp > 0 && have.Dense.NsPerOp > 0 {
-		wantRatio := want.Event.NsPerOp / want.Dense.NsPerOp
-		haveRatio := have.Event.NsPerOp / have.Dense.NsPerOp
+	wb, wa := want.sample(spec.base), want.sample(spec.alt)
+	hb, ha := have.sample(spec.base), have.sample(spec.alt)
+	if wb != nil && wa != nil && hb != nil && ha != nil &&
+		spec.metric(wb) > 0 && spec.metric(hb) > 0 {
+		wantRatio := spec.metric(wa) / spec.metric(wb)
+		haveRatio := spec.metric(ha) / spec.metric(hb)
 		if haveRatio > wantRatio*(1+tol) {
-			out = append(out, fmt.Sprintf("%s: event:dense ns/op ratio %.2f vs baseline %.2f (event core slowed down relative to the reference loop)",
-				key, haveRatio, wantRatio))
+			out = append(out, fmt.Sprintf("%s: %s:%s %s ratio %.2f vs baseline %.2f (the %s path lost ground to the %s reference)",
+				key, spec.alt, spec.base, spec.metricName, haveRatio, wantRatio, spec.alt, spec.base))
 		}
 	}
 	return out
@@ -168,12 +241,13 @@ func relDrift(have, want float64) float64 {
 	return math.Abs(have-want) / want
 }
 
-// parseBench reads `go test -bench` output and folds the engine=dense /
-// engine=event sub-benchmarks of each grid point together. Keys match
-// the baseline's: the benchmark name with the "Benchmark" prefix, the
-// GOMAXPROCS "-N" suffix and the "engine=X/" path segment removed, e.g.
-// "SimCore/sparse-churn/vms=1000/days=7/workers=1".
-func parseBench(r io.Reader) (map[string]gridPoint, error) {
+// parseBench reads `go test -bench` output and folds the two variant
+// sub-benchmarks of each grid point together. Keys match the baseline's:
+// the benchmark name with the "Benchmark" prefix, the GOMAXPROCS "-N"
+// suffix and the variant path segment removed, e.g.
+// "SimCore/sparse-churn/vms=1000/days=7/workers=1" or
+// "PredictMatrix/trees=40/depth=12/batch=64".
+func parseBench(r io.Reader, spec gridSpec) (map[string]gridPoint, error) {
 	out := make(map[string]gridPoint)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -186,7 +260,7 @@ func parseBench(r io.Reader) (map[string]gridPoint, error) {
 		if i := strings.LastIndex(name, "-"); i > strings.LastIndex(name, "/") {
 			name = name[:i] // strip the -GOMAXPROCS suffix
 		}
-		key, engine, ok := splitEngine(name)
+		key, variant, ok := splitVariant(name, spec.seg)
 		if !ok {
 			continue
 		}
@@ -199,38 +273,39 @@ func parseBench(r io.Reader) (map[string]gridPoint, error) {
 			switch fields[i+1] {
 			case "ns/op":
 				s.NsPerOp = v
+			case "ns/row":
+				s.NsPerRow = v
 			case "visits/op":
 				s.VisitsPerOp = v
 			}
 		}
-		p := out[key]
-		switch engine {
-		case "dense":
-			p.Dense = &s
-		case "event":
-			p.Event = &s
+		if variant != spec.base && variant != spec.alt {
+			continue
 		}
+		p := out[key]
+		p.setSample(variant, &s)
 		out[key] = p
 	}
 	return out, sc.Err()
 }
 
-// splitEngine removes the "engine=X" path segment from a benchmark name,
-// returning the remaining key and the engine.
-func splitEngine(name string) (key, engine string, ok bool) {
+// splitVariant removes the variant path segment (e.g. "engine=X",
+// "layout=X") from a benchmark name, returning the remaining key and the
+// variant.
+func splitVariant(name, segPrefix string) (key, variant string, ok bool) {
 	segs := strings.Split(name, "/")
 	rest := segs[:0]
 	for _, seg := range segs {
-		if v, found := strings.CutPrefix(seg, "engine="); found {
-			engine = v
+		if v, found := strings.CutPrefix(seg, segPrefix); found {
+			variant = v
 			continue
 		}
 		rest = append(rest, seg)
 	}
-	if engine == "" {
+	if variant == "" {
 		return "", "", false
 	}
-	return strings.Join(rest, "/"), engine, true
+	return strings.Join(rest, "/"), variant, true
 }
 
 func loadBaseline(path string) (*baseline, error) {

@@ -10,6 +10,7 @@
 //	              [-scenario NAME|spec.txt] [-scale small|medium|full]
 //	              [-speedup 3600] [-from-day -1] [-replay-days 1]
 //	              [-timeout 10s] [-retries 3] [-retry-backoff 100ms]
+//	              [-pprof-addr ""]
 //
 // -vms must match the served trace's VM population (coachd -scale small
 // serves 500 VMs); unknown ids count as errors.
@@ -49,6 +50,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"sort"
 	"strconv"
@@ -77,7 +79,20 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
 	retries := flag.Int("retries", 3, "retry attempts for transient failures (transport errors, timeouts, non-definitive 5xx)")
 	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base retry backoff (doubled per attempt, jittered, capped by Retry-After when the server sends one)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// loadgen makes no HTTP server of its own, so the default mux is
+		// free for the pprof registrations — profile the client side of a
+		// load run (scenario replay scheduling, encode/decode) directly.
+		go func() {
+			fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+	}
 
 	hc := newHTTPClient(*timeout, *retries, *retryBackoff, *seed)
 	var err error

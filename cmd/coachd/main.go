@@ -13,6 +13,7 @@
 //	       [-data-plane] [-mitigation None|Trim|Extend|Migrate]
 //	       [-mitigation-mode Reactive|Proactive] [-dp-interval 2s]
 //	       [-dp-pool-frac 0] [-cross-shard=true] [-admit-pressure 0]
+//	       [-pprof-addr ""]
 //
 // On start, coachd generates the trace for the chosen scale — from the
 // calibrated GenConfig generator, or with -scenario from a declarative
@@ -60,6 +61,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; the service uses its own Handler
 	"os"
 	"os/signal"
 	"strings"
@@ -95,6 +97,7 @@ func main() {
 	crossShard := flag.Bool("cross-shard", true, "let completed live migrations hand off to other cluster shards (requires -data-plane)")
 	admitPressure := flag.Float64("admit-pressure", 0, "pressure-aware admission: reject or re-route oversubscribed VMs whose scheduled VA demand would push a pool past this occupancy (0 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on SIGINT/SIGTERM before forcing shutdown")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
 	opts := options{
@@ -104,7 +107,7 @@ func main() {
 		dataPlane: *dataPlane, mitigation: *mitigation,
 		mitigationMode: *mitigationMode, dpInterval: *dpInterval,
 		dpPoolFrac: *dpPoolFrac, crossShard: *crossShard, admitPressure: *admitPressure,
-		drainTimeout: *drainTimeout,
+		drainTimeout: *drainTimeout, pprofAddr: *pprofAddr,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "coachd:", err)
@@ -132,9 +135,22 @@ type options struct {
 	crossShard     bool
 	admitPressure  float64
 	drainTimeout   time.Duration
+	pprofAddr      string
 }
 
 func run(o options) error {
+	if o.pprofAddr != "" {
+		// The API server uses its own mux (serve.Handler), so the default
+		// mux carries only the pprof registrations — profiling the
+		// inference and what-if hot paths never shares a listener with
+		// admission traffic.
+		go func() {
+			log.Printf("pprof: http://%s/debug/pprof/", o.pprofAddr)
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 	pk, err := parsePolicy(o.policy)
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"github.com/coach-oss/coach/internal/cluster"
 	"github.com/coach-oss/coach/internal/memsim"
 	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/scheduler"
 )
 
 // This file implements the fleet-scale memory data plane: one
@@ -380,6 +381,31 @@ func (d *DataPlane) ProjectedPressure(server int, incomingGB float64) float64 {
 		incomingGB = 0
 	}
 	return (srv.PoolUsed() + incomingGB) / pool
+}
+
+// ProjectPressures is the batched ProjectedPressure sweep behind the
+// what-if scorer: it fills out[i] with candidate i's pool occupancy after
+// absorbing incomingGB (reallocating out only when too small) and returns
+// the slice used. One call scores a whole candidate ranking; the values
+// are exactly ProjectedPressure per server.
+func (d *DataPlane) ProjectPressures(cands []scheduler.Candidate, incomingGB float64, out []float64) []float64 {
+	if cap(out) < len(cands) {
+		out = make([]float64, len(cands))
+	}
+	out = out[:len(cands)]
+	if incomingGB < 0 {
+		incomingGB = 0
+	}
+	for i, c := range cands {
+		srv := d.servers[c.Server].Server
+		pool := srv.PoolGB()
+		if pool <= 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = (srv.PoolUsed() + incomingGB) / pool
+	}
+	return out
 }
 
 // Totals sums the servers' cumulative data-plane volumes in server order.

@@ -105,10 +105,11 @@ type MigrationRequest struct {
 // MigrationEngine coordinates one shard's scheduler and data plane: it
 // resolves the data plane's completed live migrations into placements.
 type MigrationEngine struct {
-	cfg   MigrationConfig
-	shard int
-	sched *scheduler.Scheduler
-	dp    *DataPlane
+	cfg    MigrationConfig
+	shard  int
+	sched  *scheduler.Scheduler
+	dp     *DataPlane
+	scorer *WhatIfScorer
 }
 
 // NewMigrationEngine builds the engine for one shard. sched and dp must
@@ -127,46 +128,18 @@ func NewMigrationEngine(cfg MigrationConfig, shard int, sched *scheduler.Schedul
 		return nil, fmt.Errorf("core: scheduler covers %d servers, data plane %d",
 			len(sched.Servers()), len(dp.Servers()))
 	}
-	return &MigrationEngine{cfg: cfg, shard: shard, sched: sched, dp: dp}, nil
+	e := &MigrationEngine{cfg: cfg, shard: shard, sched: sched, dp: dp}
+	e.scorer = NewWhatIfScorer(sched, dp)
+	return e, nil
 }
 
 // Config returns the engine's configuration.
 func (e *MigrationEngine) Config() MigrationConfig { return e.cfg }
 
-// PickPlacement ranks cvm's feasible servers by the scheduler's best-fit
-// policy and returns the best one whose pool, after absorbing needGB of
-// incoming resident demand, stays below pressureFrac occupancy (ok=false
-// when none qualifies). It is the single placement path shared by
-// same-shard migration landing, the cross-shard apply step and serve's
-// pressure-aware admission.
-func PickPlacement(sched *scheduler.Scheduler, dp *DataPlane, cvm *coachvm.CVM, exclude int, needGB, pressureFrac float64) (scheduler.Candidate, bool) {
-	for _, c := range sched.Candidates(cvm, exclude) {
-		if dp.ProjectedPressure(c.Server, needGB) < pressureFrac {
-			return c, true
-		}
-	}
-	return scheduler.Candidate{}, false
-}
-
-// PickRecovery chooses the server a crash-evicted VM re-admits to: the
-// pressure-filtered best fit (PickPlacement), else the least-pressured
-// feasible server — after a server failure the fleet is short capacity,
-// so a pressured-but-feasible home beats losing the VM. ok=false means
-// nothing in the shard can host it and the VM is lost. The failure-
-// domain engine (sim fault processing, serve's crash handler) is the
-// single caller, so both layers recover crashes identically.
-func PickRecovery(sched *scheduler.Scheduler, dp *DataPlane, cvm *coachvm.CVM, pressureFrac float64) (int, bool) {
-	if c, ok := PickPlacement(sched, dp, cvm, -1, VAPeakGB(cvm), pressureFrac); ok {
-		return c.Server, true
-	}
-	best, bestPressure := -1, 0.0
-	for _, c := range sched.Candidates(cvm, -1) {
-		if p := dp.PressureOf(c.Server); best < 0 || p < bestPressure {
-			best, bestPressure = c.Server, p
-		}
-	}
-	return best, best >= 0
-}
+// Scorer exposes the engine's what-if scorer so the layer driving the
+// engine (sim shard, serve shard) can share one scratch — and one set of
+// batching counters — across every decision on the shard.
+func (e *MigrationEngine) Scorer() *WhatIfScorer { return e.scorer }
 
 // VAPeakGB is the pool demand a CoachVM brings to a target server: the
 // peak over time windows of its scheduled oversubscribed memory demand.
@@ -208,7 +181,7 @@ func (e *MigrationEngine) Resolve(tick int, completed []CompletedMigration) ([]M
 			// drop it rather than re-attach an unowned VMMem.
 			continue
 		}
-		if c, ok := PickPlacement(e.sched, e.dp, cvm, cm.Server, VAPeakGB(cvm), e.cfg.PressureFrac); ok {
+		if c, ok := e.scorer.PickPlacement(cvm, cm.Server, VAPeakGB(cvm), e.cfg.PressureFrac); ok {
 			plan, err := e.commitLocal(cm, c.Server)
 			if err != nil {
 				return nil, nil, err
@@ -242,12 +215,7 @@ func (e *MigrationEngine) Resolve(tick int, completed []CompletedMigration) ([]M
 // is pressured: take the least-pressured one (ties break on candidate
 // rank, i.e. best fit), or re-land on the source when nothing fits.
 func (e *MigrationEngine) settleLocal(cm CompletedMigration, cvm *coachvm.CVM) (MigrationPlan, error) {
-	best, bestPressure := -1, 0.0
-	for _, c := range e.sched.Candidates(cvm, cm.Server) {
-		if p := e.dp.PressureOf(c.Server); best < 0 || p < bestPressure {
-			best, bestPressure = c.Server, p
-		}
-	}
+	best := e.scorer.PickSettle(cvm, cm.Server)
 	if best < 0 {
 		return e.Reland(cm)
 	}
@@ -279,7 +247,7 @@ func (e *MigrationEngine) commitLocal(cm CompletedMigration, target int) (Migrat
 // request: the best-fit candidate whose pool absorbs the incoming
 // working set below the pressure bar.
 func (e *MigrationEngine) PickInbound(req MigrationRequest) (scheduler.Candidate, bool) {
-	return PickPlacement(e.sched, e.dp, req.CVM, -1, req.VANeed(), e.cfg.PressureFrac)
+	return e.scorer.PickPlacement(req.CVM, -1, req.VANeed(), e.cfg.PressureFrac)
 }
 
 // Reserve places the request's CoachVM on an explicit server in this

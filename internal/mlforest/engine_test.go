@@ -115,16 +115,18 @@ func TestThresholdAdjacentFloats(t *testing.T) {
 	}
 }
 
-// TestMemoryBytesArena pins MemoryBytes to the arena's real SoA footprint:
+// TestMemoryBytesArena pins MemoryBytes to the model's real SoA footprint:
 // per node one int32 feature, two int32 children, one float64 threshold
-// and one float64 value, plus the per-tree roots and the per-feature
-// importance sums.
+// and one float64 value in the depth-first arena, plus the breadth-first
+// mirror's 16-byte packed node and leaf-value slot per node, the per-tree
+// roots (arena), roots+depths (mirror) and the per-feature importance
+// sums.
 func TestMemoryBytesArena(t *testing.T) {
 	f, err := Train(TraceLikeSamples(300, 23), DefaultForestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := f.NumNodes()*(3*4+2*8) + f.NumTrees()*4 + f.NumFeatures()*8
+	want := f.NumNodes()*(3*4+2*8) + f.NumNodes()*(16+8) + f.NumTrees()*(4+2*4) + f.NumFeatures()*8
 	if got := f.MemoryBytes(); got != want {
 		t.Errorf("MemoryBytes = %d, want %d (%d nodes, %d trees, %d features)",
 			got, want, f.NumNodes(), f.NumTrees(), f.NumFeatures())

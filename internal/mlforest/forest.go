@@ -52,8 +52,51 @@ type Forest struct {
 	// trees in tree order (raw, unnormalized).
 	importance []float64
 
+	// Level-synchronous mirror of the arena (matrix.go): the same trees
+	// relabeled breadth-first into compact 16-byte nodes with leaves as
+	// self-looping sentinels, built once by buildBFS after training or
+	// decoding and never serialized. Leaf values live in their own slab,
+	// read once per (tree, row), so they never dilute the hot node lines.
+	bfsNodes []bfsNode
+	bfsVal   []float64
+	bfsRoots []int32
+	bfsDepth []int32 // per-tree max depth = PredictMatrix level count
+
 	nFeat    int
 	nSamples int
+
+	// Inference counters, see Stats.
+	passes, rowsIn, mismatched atomic.Int64
+
+	// scratch pools PredictMatrix row frontiers.
+	scratch sync.Pool
+}
+
+// Stats is a snapshot of a forest's inference counters.
+type Stats struct {
+	// Passes counts inference calls: Predict, PredictBatch and
+	// PredictMatrix each add one regardless of batch size, so a caller
+	// batching K candidates into one matrix is distinguishable from one
+	// looping K single-row predictions.
+	Passes int64
+	// Rows counts feature rows submitted across all passes.
+	Rows int64
+	// MismatchedRows counts rows rejected for feature-dimension mismatch.
+	// Such rows predict 0 without consulting the ensemble; a nonzero count
+	// means a feature-schema bug upstream that would otherwise masquerade
+	// as a confident zero-utilization prediction.
+	MismatchedRows int64
+}
+
+// Stats returns a snapshot of the forest's inference counters. Counters
+// are cumulative since training or decoding and safe to read concurrently
+// with predictions.
+func (f *Forest) Stats() Stats {
+	return Stats{
+		Passes:         f.passes.Load(),
+		Rows:           f.rowsIn.Load(),
+		MismatchedRows: f.mismatched.Load(),
+	}
 }
 
 // Train fits a forest with bootstrap bagging. Each tree sees a bootstrap
@@ -207,6 +250,7 @@ func flatten(trees []grownTree, nFeat, nSamples int) *Forest {
 			f.importance[k] += v
 		}
 	}
+	f.buildBFS()
 	return f
 }
 
@@ -224,9 +268,14 @@ func (f *Forest) walk(i int32, row []float64) float64 {
 	return f.value[i]
 }
 
-// Predict returns the ensemble mean prediction.
+// Predict returns the ensemble mean prediction. A feature vector whose
+// length differs from the trained dimensionality predicts 0 and counts in
+// Stats().MismatchedRows.
 func (f *Forest) Predict(features []float64) float64 {
+	f.passes.Add(1)
+	f.rowsIn.Add(1)
 	if len(features) != f.nFeat {
+		f.mismatched.Add(1)
 		return 0
 	}
 	var sum float64
@@ -244,7 +293,7 @@ func (f *Forest) Predict(features []float64) float64 {
 // loop, so one tree's span of the node arena stays hot in cache across the
 // whole batch and the per-tree dispatch overhead is amortized over all
 // rows. Rows whose length differs from the trained feature count predict
-// 0, as in Predict.
+// 0, as in Predict, and count in Stats().MismatchedRows.
 func (f *Forest) PredictBatch(rows [][]float64, out []float64) []float64 {
 	if len(out) != len(rows) {
 		out = make([]float64, len(rows))
@@ -253,6 +302,8 @@ func (f *Forest) PredictBatch(rows [][]float64, out []float64) []float64 {
 			out[i] = 0
 		}
 	}
+	f.passes.Add(1)
+	f.rowsIn.Add(int64(len(rows)))
 	valid := true
 	for _, r := range rows {
 		if len(r) != f.nFeat {
@@ -262,8 +313,17 @@ func (f *Forest) PredictBatch(rows [][]float64, out []float64) []float64 {
 	}
 	if !valid {
 		// Rare slow path: keep the hot loop free of per-row length checks.
+		nt := float64(len(f.roots))
 		for i, r := range rows {
-			out[i] = f.Predict(r)
+			if len(r) != f.nFeat {
+				f.mismatched.Add(1)
+				continue // out[i] stays 0
+			}
+			var sum float64
+			for _, root := range f.roots {
+				sum += f.walk(root, r)
+			}
+			out[i] = sum / nt
 		}
 		return out
 	}
@@ -339,14 +399,20 @@ const (
 	// arenaNodeBytes is one node's share of the SoA arena: feature,
 	// threshold, left, right, value.
 	arenaNodeBytes = 3*arenaIndexBytes + 2*arenaFloatBytes
+	// bfsNodeBytes is one node's share of the level-synchronous mirror:
+	// the 16-byte packed node plus its slot in the leaf-value slab.
+	bfsNodeBytes = int(unsafe.Sizeof(bfsNode{})) + arenaFloatBytes
 )
 
 // MemoryBytes reports the resident size of the model — the arena's real
 // footprint (every node's share of the SoA slices plus the per-tree roots
-// and per-feature importances), used by the §4.5 overhead experiment.
+// and per-feature importances) and the breadth-first mirror PredictMatrix
+// walks, used by the §4.5 overhead experiment.
 func (f *Forest) MemoryBytes() int {
 	return len(f.feature)*arenaNodeBytes +
+		len(f.bfsNodes)*bfsNodeBytes +
 		len(f.roots)*arenaIndexBytes +
+		len(f.bfsRoots)*2*arenaIndexBytes + // bfsRoots + bfsDepth
 		len(f.importance)*arenaFloatBytes
 }
 
@@ -431,6 +497,29 @@ func (f *Forest) GobDecode(data []byte) error {
 			return fmt.Errorf("mlforest: decoded root %d outside arena of %d nodes", r, n)
 		}
 	}
+	// Trees occupy ascending contiguous blocks [roots[t], roots[t+1]) and a
+	// node's children never leave its tree's block — properties every
+	// trained arena has and the breadth-first relabeling in buildBFS relies
+	// on, so a payload violating them must fail here, not panic there.
+	if w.Roots[0] != 0 {
+		return fmt.Errorf("mlforest: decoded first root %d, want 0", w.Roots[0])
+	}
+	for t := 1; t < len(w.Roots); t++ {
+		if w.Roots[t] <= w.Roots[t-1] {
+			return fmt.Errorf("mlforest: decoded roots not strictly ascending at tree %d", t)
+		}
+	}
+	for t := range w.Roots {
+		end := int32(n)
+		if t+1 < len(w.Roots) {
+			end = w.Roots[t+1]
+		}
+		for i := w.Roots[t]; i < end; i++ {
+			if w.Feature[i] >= 0 && (w.Left[i] >= end || w.Right[i] >= end) {
+				return fmt.Errorf("mlforest: decoded node %d has child outside its tree block", i)
+			}
+		}
+	}
 	f.feature = w.Feature
 	f.threshold = w.Threshold
 	f.left = w.Left
@@ -440,5 +529,6 @@ func (f *Forest) GobDecode(data []byte) error {
 	f.importance = w.Importance
 	f.nFeat = w.NFeat
 	f.nSamples = w.NSamples
+	f.buildBFS()
 	return nil
 }

@@ -91,26 +91,29 @@ type LongTerm struct {
 	scratch sync.Pool
 }
 
-// batchScratch is the reusable working set of one PredictBatch call:
-// feature rows carved from one flat buffer plus the raw forest outputs.
-// Only buffers not retained by the returned Predictions live here.
+// batchScratch is the reusable working set of one PredictBatch call: the
+// feature-major input matrix for the level-synchronous forest path, a
+// staging row for assembling one feature vector at a time, and the raw
+// forest outputs. Only buffers not retained by the returned Predictions
+// live here.
 type batchScratch struct {
-	rows    [][]float64
-	featBuf []float64
-	pctOut  []float64
-	maxOut  []float64
+	m      mlforest.RowMatrix
+	row    []float64 // one featureDim staging row scattered into m
+	pctOut []float64
+	maxOut []float64
 }
 
-// grow resizes the scratch for n rows of featureDim features.
+// grow resizes the scratch for n rows of featureDim features. The matrix
+// reset reuses its flat backing buffer across batches.
 func (sc *batchScratch) grow(n int) {
-	if cap(sc.rows) < n {
-		sc.rows = make([][]float64, n)
-		sc.featBuf = make([]float64, n*featureDim)
+	sc.m.Reset(n, featureDim)
+	if sc.row == nil {
+		sc.row = make([]float64, featureDim)
+	}
+	if cap(sc.pctOut) < n {
 		sc.pctOut = make([]float64, n)
 		sc.maxOut = make([]float64, n)
 	}
-	sc.rows = sc.rows[:n]
-	sc.featBuf = sc.featBuf[:n*featureDim]
 	sc.pctOut = sc.pctOut[:n]
 	sc.maxOut = sc.maxOut[:n]
 }
@@ -258,6 +261,27 @@ func (lt *LongTerm) HistoryCount(subscription int) int {
 // TrainRows returns the number of (VM, resource, window) training rows.
 func (lt *LongTerm) TrainRows() int { return lt.trainRows }
 
+// InferenceStats sums the inference counters of every underlying forest:
+// total ensemble passes, feature rows evaluated, and rows rejected for
+// feature-dimension mismatch (any nonzero MismatchedRows means a
+// feature-schema bug that would otherwise read as confident
+// zero-utilization predictions).
+func (lt *LongTerm) InferenceStats() mlforest.Stats {
+	var s mlforest.Stats
+	for _, k := range resources.Kinds {
+		for _, f := range [...]*mlforest.Forest{lt.pctForest[k], lt.maxForest[k]} {
+			if f == nil {
+				continue
+			}
+			fs := f.Stats()
+			s.Passes += fs.Passes
+			s.Rows += fs.Rows
+			s.MismatchedRows += fs.MismatchedRows
+		}
+	}
+	return s
+}
+
 // MemoryBytes estimates the resident model size (§4.5 reports 186MB at
 // production scale; ours scales with trace size).
 func (lt *LongTerm) MemoryBytes() int {
@@ -311,13 +335,14 @@ func (lt *LongTerm) Predict(tr *trace.Trace, vm *trace.VM) (pred coachvm.Predict
 
 // PredictBatch predicts a batch of VMs in single forest passes. The
 // results are exactly those of calling Predict per VM — bit-identical,
-// since mlforest.Forest.PredictBatch accumulates per-row tree
-// contributions in the same order — but all fresh VMs' (window, resource)
-// feature rows are evaluated through each forest in one PredictBatch
-// call, amortizing per-tree dispatch across the whole batch and backing
-// each VM's prediction windows with shared flat allocations. This is the
-// inference hot path of the serving layer (internal/serve), which
-// coalesces concurrent prediction requests into such batches.
+// since mlforest.Forest.PredictMatrix accumulates per-row tree
+// contributions in the same order as the per-row walk — but all fresh
+// VMs' (window, resource) feature rows are evaluated through each forest
+// in one level-synchronous matrix pass, advancing the whole batch one
+// tree level at a time instead of pointer-chasing rows one by one, and
+// each VM's prediction windows are backed by shared flat allocations.
+// This is the inference hot path of the serving layer (internal/serve),
+// which coalesces concurrent prediction requests into such batches.
 func (lt *LongTerm) PredictBatch(tr *trace.Trace, vms []*trace.VM) ([]coachvm.Prediction, []bool) {
 	preds := make([]coachvm.Prediction, len(vms))
 	oks := make([]bool, len(vms))
@@ -348,8 +373,9 @@ func (lt *LongTerm) PredictBatch(tr *trace.Trace, vms []*trace.VM) ([]coachvm.Pr
 	}
 
 	// Second pass: one batched ensemble evaluation per (resource, target)
-	// over every fresh VM's windows. Feature vectors and forest outputs
-	// are carved out of pooled flat buffers (recycled across batches);
+	// over every fresh VM's windows, level-synchronously through the
+	// forests' breadth-first layout. Features assemble into a feature-major
+	// matrix carved from a pooled flat buffer (recycled across batches);
 	// only the per-VM window slices handed back inside Predictions are
 	// freshly allocated.
 	w := lt.cfg.Windows.PerDay
@@ -360,18 +386,16 @@ func (lt *LongTerm) PredictBatch(tr *trace.Trace, vms []*trace.VM) ([]coachvm.Pr
 	}
 	sc.grow(n)
 	defer lt.scratch.Put(sc)
-	rows := sc.rows
 	for _, k := range resources.Kinds {
 		for bi, vi := range fresh {
 			vm := vms[vi]
 			for t := 0; t < w; t++ {
-				row := sc.featBuf[(bi*w+t)*featureDim : (bi*w+t+1)*featureDim]
-				lt.featuresInto(row, tr, vm, k, t)
-				rows[bi*w+t] = row
+				lt.featuresInto(sc.row, tr, vm, k, t)
+				sc.m.SetRow(bi*w+t, sc.row)
 			}
 		}
-		pctOut := lt.pctForest[k].PredictBatch(rows, sc.pctOut)
-		maxOut := lt.maxForest[k].PredictBatch(rows, sc.maxOut)
+		pctOut := lt.pctForest[k].PredictMatrix(&sc.m, sc.pctOut)
+		maxOut := lt.maxForest[k].PredictMatrix(&sc.m, sc.maxOut)
 		pctFlat := make([]float64, n)
 		maxFlat := make([]float64, n)
 		for bi, vi := range fresh {

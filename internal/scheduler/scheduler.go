@@ -47,6 +47,10 @@ type Scheduler struct {
 	// scheduler only refuses new placements there. Nil until the first
 	// SetDown, so the fault-free fast paths stay allocation-free.
 	down []bool
+	// candScratch backs Migrate's candidate ranking across calls. A
+	// Scheduler is single-goroutine (shards wrap their own), so one
+	// scratch per scheduler suffices.
+	candScratch []Candidate
 }
 
 // New builds a scheduler over the fleet with empty servers.
@@ -184,14 +188,35 @@ func (s *Scheduler) HasFeasible(vm *coachvm.CVM, exclude int) bool {
 // and serve's pressure-aware admission, so every layer agrees on what
 // "the scheduler's placement policy" means.
 func (s *Scheduler) Candidates(vm *coachvm.CVM, exclude int) []Candidate {
-	var out []Candidate
+	return s.CandidatesInto(vm, exclude, nil)
+}
+
+// CandidatesInto is Candidates appending into a caller-provided scratch
+// slice (overwritten from index 0, reallocated only when too small) and
+// returning the slice used. The hot decision paths — admission, migration
+// relanding and recovery call the ranking per VM per tick — reuse one
+// scratch across calls and stay allocation-free in steady state; the
+// ranking itself is identical to Candidates'.
+func (s *Scheduler) CandidatesInto(vm *coachvm.CVM, exclude int, scratch []Candidate) []Candidate {
+	out := scratch[:0]
 	for i, st := range s.servers {
 		if i == exclude || s.Down(i) || !st.Pool.Fits(vm) {
 			continue
 		}
 		out = append(out, Candidate{Server: i, Score: s.packScore(st, vm)})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	// Insertion sort, descending by Score: moving an element only past
+	// strictly lower scores keeps equal scores in server-index order —
+	// exactly sort.SliceStable's ordering — without its allocations.
+	for i := 1; i < len(out); i++ {
+		c := out[i]
+		j := i
+		for j > 0 && out[j-1].Score < c.Score {
+			out[j] = out[j-1]
+			j--
+		}
+		out[j] = c
+	}
 	return out
 }
 
@@ -228,7 +253,8 @@ func (s *Scheduler) Migrate(vmID int) (newServer int, err error) {
 	if !ok {
 		return -1, fmt.Errorf("%w: %d", ErrUnknownVM, vmID)
 	}
-	cands := s.Candidates(s.servers[from].Pool.Members()[vmID], from)
+	cands := s.CandidatesInto(s.servers[from].Pool.Members()[vmID], from, s.candScratch)
+	s.candScratch = cands[:0]
 	if len(cands) == 0 {
 		return -1, fmt.Errorf("%w: migrating vm %d", ErrNoCapacity, vmID)
 	}

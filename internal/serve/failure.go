@@ -347,7 +347,7 @@ func (s *Service) crashServer(shard, srv int) error {
 
 		target := -1
 		if sh.dp != nil {
-			if s2, ok := core.PickRecovery(sh.sched, sh.dp, cvm,
+			if s2, ok := sh.eng.Scorer().PickRecovery(cvm,
 				sh.eng.Config().PressureFrac); ok {
 				if err := sh.sched.PlaceAt(cvm, s2); err != nil {
 					sh.mu.Unlock()

@@ -517,7 +517,10 @@ func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
 	srv, placed := -1, false
 	if sh.dp != nil && s.cfg.AdmitPressureFrac > 0 {
 		if need := core.VAPeakGB(cvm); need > 0 {
-			if c, ok := core.PickPlacement(sh.sched, sh.dp, cvm, -1, need, s.cfg.AdmitPressureFrac); ok {
+			// One batched what-if pass scores every candidate server for
+			// this admission (docs/DESIGN.md §14); the scorer's scratch is
+			// the engine's, reused under the shard lock.
+			if c, ok := sh.eng.Scorer().PickPlacement(cvm, -1, need, s.cfg.AdmitPressureFrac); ok {
 				if err := sh.sched.PlaceAt(cvm, c.Server); err == nil {
 					srv, placed = c.Server, true
 				}
@@ -795,6 +798,13 @@ type DataPlaneStats struct {
 	// home cluster could absorb the VM's oversubscribed demand
 	// (Config.AdmitPressureFrac).
 	PressureRejected int64 `json:"pressure_rejected"`
+	// WhatIfBatches and WhatIfCandidates count the batched placement
+	// scoring sweeps behind admission, migration landing and crash
+	// recovery: each decision runs one sweep over its whole candidate
+	// ranking (docs/DESIGN.md §14), so batches track decisions while
+	// candidates track fleet size × decisions.
+	WhatIfBatches    int64 `json:"whatif_batches"`
+	WhatIfCandidates int64 `json:"whatif_candidates"`
 	// Failure-domain counters (docs/DESIGN.md §13): applied server
 	// crash/recover fault events, VMs evicted by crashes, and their fate
 	// (re-admitted elsewhere vs lost — no feasible server remained).
@@ -864,6 +874,11 @@ func (s *Service) Stats() Stats {
 			st.DataPlane.FailedMigrations += sh.failedMigs
 			st.DataPlane.WarmArrivedGB += sh.warmArrivedGB
 			st.DataPlane.PressureRejected += sh.pressureRejected
+			if sh.eng != nil {
+				ws := sh.eng.Scorer().Stats()
+				st.DataPlane.WhatIfBatches += ws.Batches
+				st.DataPlane.WhatIfCandidates += ws.Scored
+			}
 		}
 		sh.mu.Unlock()
 		st.Placed += cs.Placed

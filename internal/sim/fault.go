@@ -92,7 +92,7 @@ func (st *shardState) crashServer(t, srv int) error {
 
 		target := -1
 		if st.sdp != nil && st.sdp.dp != nil {
-			if s2, ok := core.PickRecovery(st.sh.sched, st.sdp.dp, cvm,
+			if s2, ok := st.sdp.eng.Scorer().PickRecovery(cvm,
 				st.sdp.eng.Config().PressureFrac); ok {
 				if err := st.sh.sched.PlaceAt(cvm, s2); err != nil {
 					return err
