@@ -240,6 +240,105 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkServeAdmit measures the admission hot path (docs/DESIGN.md
+// §15) at 1/8/64 concurrent clients under both admission modes: serial
+// (mode=serial, every request takes its own forest pass, candidate scan
+// and pool sweep under the shard lock) and coalesced (mode=batched,
+// concurrent requests share one scheduler snapshot, one PredictMatrix
+// pass and one rollout matrix, committed in arrival order). The two
+// modes produce bit-identical admission decisions (pinned by the serve
+// equivalence tests), so the grid differs only in throughput. Each op is
+// one admit/release pair against a pressure-aware data-plane service;
+// clients work disjoint strides of the evaluation-period VM population
+// so ids never collide. Before/after numbers are recorded in
+// BENCH_serve.json and the batched:serial ns/op ratio is gated by
+// cmd/coach-benchdiff -grid serve in CI. On a single-CPU host the
+// coalescing win is modest (batches stay shallow without true
+// parallelism); multi-core hardware is where fleet-sized batches form.
+func BenchmarkServeAdmit(b *testing.B) {
+	ctx := benchContext()
+	tr, err := ctx.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fresh []*trace.VM
+	for i := range tr.VMs {
+		if tr.VMs[i].Start >= tr.Horizon/2 {
+			fresh = append(fresh, &tr.VMs[i])
+		}
+	}
+	cache := NewModelCache()
+	for _, mode := range []struct {
+		name  string
+		admit ServiceBatchConfig
+	}{
+		{"serial", ServiceBatchConfig{Disabled: true}},
+		// A small straggler window lets admit batches form even on a
+		// single CPU, where the opportunistic drain runs before
+		// concurrent clients get scheduled to enqueue.
+		{"batched", ServiceBatchConfig{MaxWait: time.Millisecond}},
+	} {
+		for _, clients := range []int{1, 8, 64} {
+			if clients > len(fresh) {
+				b.Fatalf("only %d evaluation-period VMs for %d clients", len(fresh), clients)
+			}
+			b.Run(fmt.Sprintf("clients=%d/mode=%s", clients, mode.name), func(b *testing.B) {
+				cfg := DefaultServiceConfig()
+				cfg.Cache = cache
+				cfg.DataPlane = true
+				cfg.AdmitPressureFrac = 0.95
+				cfg.AdmitBatch = mode.admit
+				svc, err := NewService(tr, NewFleet(DefaultClusters(8)), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer svc.Close()
+				if err := svc.Warm(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				per := b.N / clients
+				if b.N%clients != 0 {
+					per++
+				}
+				var failed atomic.Bool
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						// Client c owns the VMs at indices ≡ c (mod
+						// clients): no two clients ever race on one id.
+						var own []*trace.VM
+						for j := c; j < len(fresh); j += clients {
+							own = append(own, fresh[j])
+						}
+						for i := 0; i < per; i++ {
+							vm := own[i%len(own)]
+							res, err := svc.Admit(vm)
+							if err != nil {
+								failed.Store(true)
+								return
+							}
+							if res.Admitted {
+								if _, err := svc.Release(vm); err != nil {
+									failed.Store(true)
+									return
+								}
+							}
+						}
+					}(c)
+				}
+				wg.Wait()
+				if failed.Load() {
+					b.Fatal("admission failed")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkForestTrain measures the columnar pre-sorted training engine
 // (docs/DESIGN.md §8) on small (3k-row) and large (20k-row) trace-shaped
 // training sets at 1/2/4/8 tree-growth workers. The trained forest is

@@ -12,13 +12,17 @@
 //	go test -run=NONE -bench='^BenchmarkPredictMatrix$' . > out.txt
 //	coach-benchdiff -grid predict [-tolerance 0.25] out.txt
 //
+//	go test -run=NONE -bench='^BenchmarkServeAdmit$' . > out.txt
+//	coach-benchdiff -grid serve [-tolerance 0.5] out.txt
+//
 // With no file argument the bench output is read from stdin.
 //
 // Each grid measures the same work under two variants — simcore runs the
 // dense reference replay loop against the event-driven core, predict runs
 // the per-row pointer walk against the level-synchronous PredictMatrix
-// path — and the checks are chosen to be meaningful across machines (raw
-// ns/op on shared CI runners is far too noisy to gate on):
+// path, serve runs serial per-request admission against the coalesced
+// batched admit path — and the checks are chosen to be meaningful across
+// machines (raw ns/op on shared CI runners is far too noisy to gate on):
 //
 //   - visits/op, where the grid reports it (simcore), must match the
 //     baseline within the tolerance for each variant. The count is
@@ -31,7 +35,9 @@
 //     the same run cancels machine speed out of the gate; for predict
 //     this is the batched-inference speedup recorded in
 //     BENCH_predict.json, so the gate fires when the level-synchronous
-//     path loses ground to the walk it replaced.
+//     path loses ground to the walk it replaced. For serve the ratio is
+//     batched:serial admit ns/op per client count (BENCH_serve.json), so
+//     the gate fires when admission coalescing stops paying for itself.
 //
 // Baseline grid points whose names never appear in the bench output fail
 // the gate too — a renamed or silently skipped benchmark would otherwise
@@ -61,12 +67,15 @@ type engineSample struct {
 }
 
 // gridPoint is one grid configuration measured under both variants. The
-// simcore grid fills dense/event, the predict grid walk/matrix.
+// simcore grid fills dense/event, the predict grid walk/matrix, the
+// serve grid serial/batched.
 type gridPoint struct {
-	Dense  *engineSample `json:"dense,omitempty"`
-	Event  *engineSample `json:"event,omitempty"`
-	Walk   *engineSample `json:"walk,omitempty"`
-	Matrix *engineSample `json:"matrix,omitempty"`
+	Dense   *engineSample `json:"dense,omitempty"`
+	Event   *engineSample `json:"event,omitempty"`
+	Walk    *engineSample `json:"walk,omitempty"`
+	Matrix  *engineSample `json:"matrix,omitempty"`
+	Serial  *engineSample `json:"serial,omitempty"`
+	Batched *engineSample `json:"batched,omitempty"`
 }
 
 func (p *gridPoint) sample(name string) *engineSample {
@@ -79,6 +88,10 @@ func (p *gridPoint) sample(name string) *engineSample {
 		return p.Walk
 	case "matrix":
 		return p.Matrix
+	case "serial":
+		return p.Serial
+	case "batched":
+		return p.Batched
 	}
 	return nil
 }
@@ -93,6 +106,10 @@ func (p *gridPoint) setSample(name string, s *engineSample) {
 		p.Walk = s
 	case "matrix":
 		p.Matrix = s
+	case "serial":
+		p.Serial = s
+	case "batched":
+		p.Batched = s
 	}
 }
 
@@ -118,6 +135,11 @@ var grids = map[string]gridSpec{
 		base: "walk", alt: "matrix",
 		metricName: "ns/row", metric: func(s *engineSample) float64 { return s.NsPerRow },
 	},
+	"serve": {
+		baseline: "BENCH_serve.json", seg: "mode=",
+		base: "serial", alt: "batched",
+		metricName: "ns/op", metric: func(s *engineSample) float64 { return s.NsPerOp },
+	},
 }
 
 // baseline mirrors BENCH_simcore.json. Narrative fields (description,
@@ -131,14 +153,14 @@ type baseline struct {
 }
 
 func main() {
-	gridName := flag.String("grid", "simcore", "benchmark grid to gate: simcore or predict")
+	gridName := flag.String("grid", "simcore", "benchmark grid to gate: simcore, predict or serve")
 	baselinePath := flag.String("baseline", "", "committed baseline JSON (defaults per -grid)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed relative drift for visits/op and for the variant ratio")
 	flag.Parse()
 
 	spec, ok := grids[*gridName]
 	if !ok {
-		fatal(fmt.Errorf("unknown -grid %q (want simcore or predict)", *gridName))
+		fatal(fmt.Errorf("unknown -grid %q (want simcore, predict or serve)", *gridName))
 	}
 	if *baselinePath == "" {
 		*baselinePath = spec.baseline
@@ -245,8 +267,9 @@ func relDrift(have, want float64) float64 {
 // sub-benchmarks of each grid point together. Keys match the baseline's:
 // the benchmark name with the "Benchmark" prefix, the GOMAXPROCS "-N"
 // suffix and the variant path segment removed, e.g.
-// "SimCore/sparse-churn/vms=1000/days=7/workers=1" or
-// "PredictMatrix/trees=40/depth=12/batch=64".
+// "SimCore/sparse-churn/vms=1000/days=7/workers=1",
+// "PredictMatrix/trees=40/depth=12/batch=64" or
+// "ServeAdmit/clients=64".
 func parseBench(r io.Reader, spec gridSpec) (map[string]gridPoint, error) {
 	out := make(map[string]gridPoint)
 	sc := bufio.NewScanner(r)

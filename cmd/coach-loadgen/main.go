@@ -6,7 +6,8 @@
 // Usage:
 //
 //	coach-loadgen [-addr http://localhost:8080] [-clients 16]
-//	              [-requests 2000] [-admit-frac 0.25] [-vms 500] [-seed 1]
+//	              [-requests 2000] [-admit-frac 0.25] [-admit-mix pair|storm]
+//	              [-vms 500] [-seed 1]
 //	              [-scenario NAME|spec.txt] [-scale small|medium|full]
 //	              [-speedup 3600] [-from-day -1] [-replay-days 1]
 //	              [-timeout 10s] [-retries 3] [-retry-backoff 100ms]
@@ -33,11 +34,26 @@
 // its departure; -from-day -1 starts at the trace midpoint, where
 // coachd's predictor training ends. -clients bounds in-flight requests.
 //
+// -admit-mix picks how admissions are issued. "pair" (the default) is
+// the steady-state shape: each client admits one VM and releases it
+// before moving on, so concurrent admits only overlap by chance.
+// "storm" buffers each client's admits and fires them as a concurrent
+// burst, then releases the placed VMs as a second burst — the shape
+// that drives the server's admission coalescing (many admits inside
+// one batch window) even at low client counts.
+//
+// Latency percentiles are reported both overall and per endpoint, so a
+// run shows directly what admission batching costs or saves relative
+// to predictions and releases.
+//
 // Example output:
 //
 //	clients=16 requests=2000 errors=0  wall=1.32s  1515.2 req/s
 //	latency: p50=9.1ms p95=22.4ms p99=31.0ms max=48.2ms
-//	server:  batches=163 mean-size=11.9 cache hits/misses=0/1
+//	admit:   n=378 p50=11.3ms p95=25.9ms p99=34.1ms max=48.2ms
+//	predict: n=1244 p50=8.6ms p95=20.8ms p99=29.5ms max=41.7ms
+//	release: n=378 p50=7.9ms p95=18.2ms p99=26.0ms max=37.3ms
+//	server:  batches=163 mean-size=11.9 admit-batches=48 (mean 7.9) cache hits/misses=0/1
 package main
 
 import (
@@ -69,6 +85,7 @@ func main() {
 	clients := flag.Int("clients", 16, "concurrent clients")
 	requests := flag.Int("requests", 2000, "total requests across all clients")
 	admitFrac := flag.Float64("admit-frac", 0.25, "fraction of requests that are admit (each later released)")
+	admitMix := flag.String("admit-mix", "pair", "admit issue pattern: pair (admit, release, move on) or storm (concurrent admit bursts that exercise admission coalescing)")
 	vms := flag.Int("vms", 500, "VM id space to draw from (must match the served trace)")
 	seed := flag.Int64("seed", 1, "base RNG seed (client i uses seed+i)")
 	scenarioFlag := flag.String("scenario", "", "replay a workload scenario (preset name or spec file) instead of the random request mix; must match the served coachd's -scenario")
@@ -99,7 +116,7 @@ func main() {
 	if *scenarioFlag != "" {
 		err = replay(hc, *addr, *scenarioFlag, *scale, *fromDay, *replayDays, *speedup, *clients)
 	} else {
-		err = run(hc, *addr, *clients, *requests, *admitFrac, *vms, *seed)
+		err = run(hc, *addr, *clients, *requests, *admitFrac, *admitMix, *vms, *seed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coach-loadgen:", err)
@@ -264,7 +281,7 @@ func replay(hc *httpClient, addr, scen, scaleName string, fromDay, replayDays in
 	sem := make(chan struct{}, clients)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	var lat []float64
+	var admitLat, releaseLat []float64
 	var placed, rejected, releases int
 	var ec errClasses
 	start := time.Now()
@@ -286,7 +303,7 @@ func replay(hc *httpClient, addr, scen, scaleName string, fromDay, replayDays in
 				parsed := err == nil && json.Unmarshal(respBody, &resp) == nil
 				mu.Lock()
 				defer mu.Unlock()
-				lat = append(lat, d)
+				admitLat = append(admitLat, d)
 				switch {
 				case parsed && code == http.StatusOK && resp.Admitted:
 					placed++
@@ -306,7 +323,7 @@ func replay(hc *httpClient, addr, scen, scaleName string, fromDay, replayDays in
 			d := time.Since(t0).Seconds()
 			mu.Lock()
 			defer mu.Unlock()
-			lat = append(lat, d)
+			releaseLat = append(releaseLat, d)
 			releases++
 			ec.classify(err, code)
 		}(ev)
@@ -314,6 +331,8 @@ func replay(hc *httpClient, addr, scen, scaleName string, fromDay, replayDays in
 	wg.Wait()
 	wall := time.Since(start)
 
+	var lat []float64
+	lat = append(append(lat, admitLat...), releaseLat...)
 	sort.Float64s(lat)
 	fmt.Printf("events=%d placed=%d rejected=%d released=%d errors=%d  wall=%s  %.1f req/s\n",
 		len(lat), placed, rejected, releases, ec.total(),
@@ -323,6 +342,8 @@ func replay(hc *httpClient, addr, scen, scaleName string, fromDay, replayDays in
 			dur(stats.PercentileSorted(lat, 50)), dur(stats.PercentileSorted(lat, 95)),
 			dur(stats.PercentileSorted(lat, 99)), dur(lat[n-1]))
 	}
+	latLine("admit", admitLat)
+	latLine("release", releaseLat)
 	var st serve.Stats
 	if err := getJSON(addr+"/v1/stats", &st); err == nil {
 		var srvReleased, srvRejected int64
@@ -330,8 +351,9 @@ func replay(hc *httpClient, addr, scen, scaleName string, fromDay, replayDays in
 			srvReleased += cs.Released
 			srvRejected += cs.Rejected
 		}
-		fmt.Printf("server:  placed=%d released=%d rejected=%d batches=%d mean-size=%.1f\n",
-			st.Placed, srvReleased, srvRejected, st.Batch.Batches, st.Batch.MeanSize)
+		fmt.Printf("server:  placed=%d released=%d rejected=%d batches=%d mean-size=%.1f admit-batches=%d (mean %.1f)\n",
+			st.Placed, srvReleased, srvRejected, st.Batch.Batches, st.Batch.MeanSize,
+			st.AdmitBatch.Batches, st.AdmitBatch.MeanSize)
 		if st.DataPlane.Crashes > 0 || st.DataPlane.LostVMs > 0 {
 			fmt.Printf("faults:  crashes=%d recoveries=%d evicted=%d replaced=%d lost=%d\n",
 				st.DataPlane.Crashes, st.DataPlane.Recoveries, st.DataPlane.EvictedVMs,
@@ -344,15 +366,34 @@ func replay(hc *httpClient, addr, scen, scaleName string, fromDay, replayDays in
 	return nil
 }
 
-// result collects one client's measurements.
+// result collects one client's measurements, with latencies kept per
+// endpoint so the report can show what each request class costs.
 type result struct {
-	latencies []float64 // seconds
-	errs      errClasses
+	admitLat   []float64 // seconds
+	predictLat []float64
+	releaseLat []float64
+	errs       errClasses
 }
 
-func run(hc *httpClient, addr string, clients, requests int, admitFrac float64, vms int, seed int64) error {
+// latLine prints one endpoint's latency percentiles; endpoints the mix
+// never exercised print nothing. Sorts lat in place.
+func latLine(name string, lat []float64) {
+	n := len(lat)
+	if n == 0 {
+		return
+	}
+	sort.Float64s(lat)
+	fmt.Printf("%-8s n=%d p50=%s p95=%s p99=%s max=%s\n", name+":", n,
+		dur(stats.PercentileSorted(lat, 50)), dur(stats.PercentileSorted(lat, 95)),
+		dur(stats.PercentileSorted(lat, 99)), dur(lat[n-1]))
+}
+
+func run(hc *httpClient, addr string, clients, requests int, admitFrac float64, admitMix string, vms int, seed int64) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("clients and requests must be positive")
+	}
+	if admitMix != "pair" && admitMix != "storm" {
+		return fmt.Errorf("unknown -admit-mix %q (want pair or storm)", admitMix)
 	}
 	if err := check(addr + "/healthz"); err != nil {
 		return fmt.Errorf("coachd not reachable at %s: %w", addr, err)
@@ -369,18 +410,26 @@ func run(hc *httpClient, addr string, clients, requests int, admitFrac float64, 
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			results[c] = client(hc, addr, perClient, admitFrac, vms, seed+int64(c))
+			if admitMix == "storm" {
+				results[c] = stormClient(hc, addr, perClient, admitFrac, vms, seed+int64(c))
+			} else {
+				results[c] = client(hc, addr, perClient, admitFrac, vms, seed+int64(c))
+			}
 		}(c)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
-	var all []float64
+	var admitL, predictL, releaseL []float64
 	var ec errClasses
 	for _, r := range results {
-		all = append(all, r.latencies...)
+		admitL = append(admitL, r.admitLat...)
+		predictL = append(predictL, r.predictLat...)
+		releaseL = append(releaseL, r.releaseLat...)
 		ec.add(r.errs)
 	}
+	var all []float64
+	all = append(append(append(all, admitL...), predictL...), releaseL...)
 	sort.Float64s(all)
 	total := len(all)
 	fmt.Printf("clients=%d requests=%d errors=%d  wall=%s  %.1f req/s\n",
@@ -390,11 +439,15 @@ func run(hc *httpClient, addr string, clients, requests int, admitFrac float64, 
 			dur(stats.PercentileSorted(all, 50)), dur(stats.PercentileSorted(all, 95)),
 			dur(stats.PercentileSorted(all, 99)), dur(all[total-1]))
 	}
+	latLine("admit", admitL)
+	latLine("predict", predictL)
+	latLine("release", releaseL)
 
 	var st serve.Stats
 	if err := getJSON(addr+"/v1/stats", &st); err == nil {
-		fmt.Printf("server:  batches=%d mean-size=%.1f cache hits/misses=%d/%d\n",
-			st.Batch.Batches, st.Batch.MeanSize, st.Cache.Hits, st.Cache.Misses)
+		fmt.Printf("server:  batches=%d mean-size=%.1f admit-batches=%d (mean %.1f) cache hits/misses=%d/%d\n",
+			st.Batch.Batches, st.Batch.MeanSize, st.AdmitBatch.Batches, st.AdmitBatch.MeanSize,
+			st.Cache.Hits, st.Cache.Misses)
 	}
 	if ec.total() > 0 {
 		return fmt.Errorf("%d requests failed after retries (%s)", ec.total(), &ec)
@@ -414,7 +467,7 @@ func client(hc *httpClient, addr string, n int, admitFrac float64, vms int, seed
 			// up over a long run and every admit exercises placement.
 			t0 := time.Now()
 			code, respBody, err := hc.post(addr+"/v1/admit", body)
-			res.latencies = append(res.latencies, time.Since(t0).Seconds())
+			res.admitLat = append(res.admitLat, time.Since(t0).Seconds())
 			// 409 (already admitted by a colliding client) is contention
 			// and a definitive 503 rejection is expected under load; only
 			// transport errors, timeouts and other 5xx count.
@@ -425,7 +478,10 @@ func client(hc *httpClient, addr string, n int, admitFrac float64, vms int, seed
 				continue
 			}
 			if code == http.StatusOK {
-				if _, _, err := hc.post(addr+"/v1/release", body); err != nil {
+				t0 = time.Now()
+				_, _, err := hc.post(addr+"/v1/release", body)
+				res.releaseLat = append(res.releaseLat, time.Since(t0).Seconds())
+				if err != nil {
 					res.errs.classify(err, 0)
 				}
 			}
@@ -433,13 +489,101 @@ func client(hc *httpClient, addr string, n int, admitFrac float64, vms int, seed
 		}
 		t0 := time.Now()
 		code, _, err := hc.post(addr+"/v1/predict", body)
-		res.latencies = append(res.latencies, time.Since(t0).Seconds())
+		res.predictLat = append(res.predictLat, time.Since(t0).Seconds())
 		if !res.errs.classify(err, code) && code != http.StatusOK {
 			// Unexpected non-200 on predict (404/405/...): misconfigured
 			// run — surface it as a transport-class failure.
 			res.errs.transport++
 		}
 	}
+	return res
+}
+
+// stormClient is the -admit-mix storm shape: admits are buffered and
+// fired as a concurrent burst so they land inside one server batch
+// window, then the placed VMs are released as a second burst. Predicts
+// interleave serially as in the pair mix.
+func stormClient(hc *httpClient, addr string, n int, admitFrac float64, vms int, seed int64) result {
+	rng := rand.New(rand.NewSource(seed))
+	var res result
+	const burst = 8
+	var pending []int
+	type out struct {
+		lat    float64
+		code   int
+		err    error
+		reject bool
+	}
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		outs := make([]out, len(pending))
+		var wg sync.WaitGroup
+		for i, id := range pending {
+			wg.Add(1)
+			go func(i, id int) {
+				defer wg.Done()
+				body := fmt.Sprintf(`{"vm": %d}`, id)
+				t0 := time.Now()
+				code, respBody, err := hc.post(addr+"/v1/admit", body)
+				outs[i] = out{lat: time.Since(t0).Seconds(), code: code, err: err,
+					reject: code == http.StatusServiceUnavailable && definitiveAdmitReject(respBody)}
+			}(i, id)
+		}
+		wg.Wait()
+		var placed []int
+		for i, o := range outs {
+			res.admitLat = append(res.admitLat, o.lat)
+			if o.reject {
+				continue
+			}
+			if res.errs.classify(o.err, o.code) {
+				continue
+			}
+			if o.code == http.StatusOK {
+				placed = append(placed, pending[i])
+			}
+		}
+		rel := make([]out, len(placed))
+		var rg sync.WaitGroup
+		for i, id := range placed {
+			rg.Add(1)
+			go func(i, id int) {
+				defer rg.Done()
+				body := fmt.Sprintf(`{"vm": %d}`, id)
+				t0 := time.Now()
+				code, _, err := hc.post(addr+"/v1/release", body)
+				rel[i] = out{lat: time.Since(t0).Seconds(), code: code, err: err}
+			}(i, id)
+		}
+		rg.Wait()
+		for _, o := range rel {
+			res.releaseLat = append(res.releaseLat, o.lat)
+			res.errs.classify(o.err, o.code)
+		}
+		pending = pending[:0]
+	}
+	for i := 0; i < n; i++ {
+		id := rng.Intn(vms)
+		if rng.Float64() < admitFrac {
+			pending = append(pending, id)
+			if len(pending) == burst {
+				flush()
+			}
+			continue
+		}
+		body := fmt.Sprintf(`{"vm": %d}`, id)
+		t0 := time.Now()
+		code, _, err := hc.post(addr+"/v1/predict", body)
+		res.predictLat = append(res.predictLat, time.Since(t0).Seconds())
+		if !res.errs.classify(err, code) && code != http.StatusOK {
+			// Unexpected non-200 on predict (404/405/...): misconfigured
+			// run — surface it as a transport-class failure.
+			res.errs.transport++
+		}
+	}
+	flush()
 	return res
 }
 

@@ -22,8 +22,16 @@
 // against the server. It then trains the
 // long-term predictor on the first half (unless -lazy-train defers that
 // to the first request), and serves until SIGINT/SIGTERM, then shuts
-// down gracefully: in-flight requests finish, the prediction batcher
-// drains, new requests get 503.
+// down gracefully: in-flight requests finish, the admission and
+// prediction batchers drain, new requests get 503.
+//
+// Concurrent admissions on the same cluster coalesce into fleet-sized
+// what-if rollouts (one forest pass, one score matrix, one pool sweep per
+// batch) committed in arrival order — bit-identical to serial admission
+// (docs/DESIGN.md §15). -no-batch disables both batchers (the fully
+// serial baseline); -no-admit-batch disables only admission coalescing,
+// and -admit-batch-max caps an admit batch separately from -batch-max
+// (0 inherits it).
 //
 // With -data-plane every fleet server runs the memory data plane (memsim
 // server + oversubscription agent): admitted VMs attach their memory, and
@@ -86,7 +94,9 @@ func main() {
 	policy := flag.String("policy", "coach", "oversubscription policy: none, single, coach or aggrcoach")
 	batchMax := flag.Int("batch-max", 64, "max prediction requests coalesced into one forest pass")
 	batchWait := flag.Duration("batch-wait", 0, "max wait for stragglers per batch (0 = opportunistic)")
-	noBatch := flag.Bool("no-batch", false, "disable the prediction batcher (per-request inference)")
+	noBatch := flag.Bool("no-batch", false, "disable both batchers: per-request inference and serial admission")
+	noAdmitBatch := flag.Bool("no-admit-batch", false, "disable admission coalescing only (predictions still batch)")
+	admitBatchMax := flag.Int("admit-batch-max", 0, "max admissions coalesced into one rollout (0 = -batch-max)")
 	lazyTrain := flag.Bool("lazy-train", false, "defer model training to the first prediction request")
 	trainWorkers := flag.Int("train-workers", 0, "goroutines growing forest trees during training (0 = GOMAXPROCS); the model is identical for any value")
 	dataPlane := flag.Bool("data-plane", false, "run the per-server memory data plane (memsim + oversubscription agent)")
@@ -103,6 +113,7 @@ func main() {
 	opts := options{
 		addr: *addr, scale: *scale, scenario: *scenarioFlag, servers: *servers, policy: *policy,
 		batchMax: *batchMax, batchWait: *batchWait, noBatch: *noBatch,
+		noAdmitBatch: *noAdmitBatch, admitBatchMax: *admitBatchMax,
 		lazyTrain: *lazyTrain, trainWorkers: *trainWorkers,
 		dataPlane: *dataPlane, mitigation: *mitigation,
 		mitigationMode: *mitigationMode, dpInterval: *dpInterval,
@@ -125,6 +136,8 @@ type options struct {
 	batchMax       int
 	batchWait      time.Duration
 	noBatch        bool
+	noAdmitBatch   bool
+	admitBatchMax  int
 	lazyTrain      bool
 	trainWorkers   int
 	dataPlane      bool
@@ -189,6 +202,13 @@ func run(o options) error {
 		cfg.Percentile = 50
 	}
 	cfg.Batch = serve.BatchConfig{Disabled: o.noBatch, MaxBatch: o.batchMax, MaxWait: o.batchWait}
+	// The zero AdmitBatch mirrors Batch, so -no-batch alone serves fully
+	// serially; the explicit knobs below override that mirror.
+	if o.noAdmitBatch {
+		cfg.AdmitBatch = serve.BatchConfig{Disabled: true}
+	} else if o.admitBatchMax > 0 {
+		cfg.AdmitBatch = serve.BatchConfig{Disabled: o.noBatch, MaxBatch: o.admitBatchMax, MaxWait: o.batchWait}
+	}
 	cfg.LongTerm.Forest.Workers = o.trainWorkers
 	if o.dataPlane {
 		cfg.DataPlane = true
@@ -294,6 +314,11 @@ func run(o options) error {
 	st := svc.Stats()
 	log.Printf("final: placed=%d batches=%d (mean size %.1f) cache hits/misses=%d/%d",
 		st.Placed, st.Batch.Batches, st.Batch.MeanSize, st.Cache.Hits, st.Cache.Misses)
+	if st.AdmitBatch.Batches > 0 {
+		log.Printf("admit batches: %d over %d admissions (mean %.1f, p50 %d, max %d), conflict replays %d",
+			st.AdmitBatch.Batches, st.AdmitBatch.Requests, st.AdmitBatch.MeanSize,
+			st.AdmitBatch.P50Size, st.AdmitBatch.MaxBatch, st.AdmitBatch.ConflictReplays)
+	}
 	if st.DataPlane.Enabled {
 		log.Printf("data plane: ticks=%d attached=%d pool used %.1f/%.1f GB, trims=%d (%.1f GB) extends=%d (%.1f GB) migrations=%d (%.1f GB), faults hard %.1f GB / soft %.1f GB, stolen %.1f GB",
 			st.DataPlane.Ticks, st.DataPlane.AttachedVMs,

@@ -408,6 +408,21 @@ func (d *DataPlane) ProjectPressures(cands []scheduler.Candidate, incomingGB flo
 	return out
 }
 
+// PoolStatesInto fills used[i] and pool[i] with server i's pool frames in
+// use and pool size, as one sweep over the shard. It is the batched-
+// admission form of ProjectPressures: the rollout captures the raw pool
+// state once per batch and derives every (request, server) projection as
+// (used+need)/pool — the exact ProjectedPressure arithmetic — so one sweep
+// serves however many requests coalesced, and a post-commit delta only has
+// to refresh the one server a placement touched. Both slices must be
+// len(Servers()).
+func (d *DataPlane) PoolStatesInto(used, pool []float64) {
+	for i, sm := range d.servers {
+		used[i] = sm.Server.PoolUsed()
+		pool[i] = sm.Server.PoolGB()
+	}
+}
+
 // Totals sums the servers' cumulative data-plane volumes in server order.
 func (d *DataPlane) Totals() memsim.Totals {
 	var t memsim.Totals

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"github.com/coach-oss/coach/internal/coachvm"
+)
+
+// This file implements the fleet-sized admission rollout: the multi-VM
+// extension of the WhatIfScorer (docs/DESIGN.md §15). Where Score answers
+// "VM X onto any of K candidates" with one enumeration and one pressure
+// sweep, ScoreMany answers it for every request that coalesced into an
+// admit batch — one dense (request × server) score matrix filled by
+// scheduler.ScoreRowInto, one DataPlane.PoolStatesInto sweep capturing raw
+// pool state — and then supports a serial arrival-order commit loop:
+// committing request r on server s invalidates exactly column s of the
+// later rows (no other server's pool or scheduler state changed), so
+// Commit re-scores that single cell per remaining request instead of
+// re-running the sweep. Every decision read from the matrix is
+// bit-identical to what the serial per-request path would have computed
+// at the same point in arrival order; the equivalence and conflict tests
+// in serve pin this.
+
+// Rollout is one batch's scored placement matrix, backed by scorer
+// scratch: valid only until the scorer's next ScoreMany (or Score) call,
+// never to be retained. Row r holds request r's post-placement packing
+// score on every server, -1 where the server is down or the VM does not
+// fit (nil CVMs — requests that failed before placement — score -1
+// everywhere). Like the scorer it is driven under the shard lock.
+type Rollout struct {
+	w     *WhatIfScorer
+	cvms  []*coachvm.CVM
+	needs []float64
+
+	ns    int
+	score []float64 // len(cvms) × ns, row-major; <0 marks infeasible
+
+	// used/pool mirror DataPlane.PoolStatesInto for pressure projection;
+	// nil when the scorer has no data plane (pressureAt then reports 1,
+	// matching ProjectedPressure's no-pool convention).
+	used, pool []float64
+}
+
+// ScoreMany scores every (request, server) placement of one admit batch
+// as a single rollout: one ScoreRowInto pass per request against the
+// scheduler's current state and one PoolStatesInto sweep over the data
+// plane, counted as one batch in the scorer's stats however many requests
+// coalesced. needs[r] is request r's incoming resident demand (VAPeakGB)
+// for pressure projection; cvms[r] may be nil for requests that failed
+// before placement. The returned Rollout shares the scorer's scratch.
+func (w *WhatIfScorer) ScoreMany(cvms []*coachvm.CVM, needs []float64) *Rollout {
+	ro := &w.rollout
+	ro.w = w
+	ro.cvms = cvms
+	ro.needs = needs
+	ro.ns = w.sched.NumServers()
+	n := len(cvms) * ro.ns
+	if cap(ro.score) < n {
+		ro.score = make([]float64, n)
+	}
+	ro.score = ro.score[:n]
+	scored := 0
+	for r, cvm := range cvms {
+		row := ro.score[r*ro.ns : (r+1)*ro.ns]
+		if cvm == nil {
+			for i := range row {
+				row[i] = -1
+			}
+			continue
+		}
+		w.sched.ScoreRowInto(cvm, row)
+		for _, sc := range row {
+			if sc >= 0 {
+				scored++
+			}
+		}
+	}
+	if w.dp != nil {
+		if cap(ro.used) < ro.ns {
+			ro.used = make([]float64, ro.ns)
+			ro.pool = make([]float64, ro.ns)
+		}
+		ro.used = ro.used[:ro.ns]
+		ro.pool = ro.pool[:ro.ns]
+		w.dp.PoolStatesInto(ro.used, ro.pool)
+	} else {
+		ro.used, ro.pool = nil, nil
+	}
+	w.batches++
+	w.scored += int64(scored)
+	return ro
+}
+
+// HasFeasible reports whether any server can host request r — the batched
+// form of scheduler.HasFeasible against the rollout's snapshot.
+func (ro *Rollout) HasFeasible(r int) bool {
+	for _, sc := range ro.row(r) {
+		if sc >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PickFit returns the best-fit server for request r (-1 when none fits):
+// the highest score with ties on the lowest index, which is exactly the
+// strict-greater ascending scan scheduler.Place runs.
+func (ro *Rollout) PickFit(r int) int {
+	best, bestScore := -1, -1.0
+	for i, sc := range ro.row(r) {
+		if sc > bestScore {
+			best, bestScore = i, sc
+		}
+	}
+	return best
+}
+
+// PickPressured returns the best-fit server for request r whose pool,
+// after absorbing needs[r], stays below pressureFrac (-1 when none
+// qualifies). Taking the highest score passing the pressure filter with
+// ties on the lowest index reproduces the serial decision — the first
+// candidate of the CandidatesInto ranking (score descending, ties
+// ascending) whose projected pressure clears the bar — without sorting.
+func (ro *Rollout) PickPressured(r int, pressureFrac float64) int {
+	best, bestScore := -1, -1.0
+	for i, sc := range ro.row(r) {
+		if sc < 0 || sc <= bestScore {
+			continue
+		}
+		if ro.pressureAt(r, i) < pressureFrac {
+			best, bestScore = i, sc
+		}
+	}
+	return best
+}
+
+// Commit folds request r's placement on server into the snapshot so later
+// requests observe it, after the caller applied the placement to the live
+// scheduler and data plane (PlaceAt + Attach/SetWSS). Only column server
+// went stale — a placement mutates that one pool — so each later request's
+// cell is re-scored against the live scheduler state and the server's pool
+// numbers are re-read, which is bit-identical to rebuilding the whole
+// rollout. Returns the number of cells re-scored (the conflict-replay
+// count surfaced in serve's admit-batch stats).
+func (ro *Rollout) Commit(r, server int) int {
+	replays := 0
+	for r2 := r + 1; r2 < len(ro.cvms); r2++ {
+		cvm := ro.cvms[r2]
+		if cvm == nil {
+			continue
+		}
+		ro.score[r2*ro.ns+server] = ro.w.sched.ScoreAt(cvm, server)
+		replays++
+	}
+	ro.w.scored += int64(replays)
+	if ro.w.dp != nil {
+		srv := ro.w.dp.servers[server].Server
+		ro.used[server] = srv.PoolUsed()
+		ro.pool[server] = srv.PoolGB()
+	}
+	return replays
+}
+
+// pressureAt projects server s's pool occupancy after absorbing request
+// r's demand — the ProjectedPressure arithmetic against the snapshot's
+// pool state: 1 when there is no data plane or no pool, else
+// (used+need)/pool with negative need clamped to zero.
+func (ro *Rollout) pressureAt(r, s int) float64 {
+	if ro.pool == nil {
+		return 1
+	}
+	pool := ro.pool[s]
+	if pool <= 0 {
+		return 1
+	}
+	need := ro.needs[r]
+	if need < 0 {
+		need = 0
+	}
+	return (ro.used[s] + need) / pool
+}
+
+// row returns request r's score row.
+func (ro *Rollout) row(r int) []float64 {
+	return ro.score[r*ro.ns : (r+1)*ro.ns]
+}

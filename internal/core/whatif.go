@@ -31,6 +31,10 @@ type WhatIfScorer struct {
 	cands []scheduler.Candidate
 	press []float64
 
+	// rollout is the multi-request scratch ScoreMany hands out
+	// (rollout.go); one live rollout per scorer, like cands/press.
+	rollout Rollout
+
 	batches int64 // pressure sweeps run
 	scored  int64 // candidates scored across sweeps
 }

@@ -346,12 +346,22 @@ func (lt *LongTerm) Predict(tr *trace.Trace, vm *trace.VM) (pred coachvm.Predict
 func (lt *LongTerm) PredictBatch(tr *trace.Trace, vms []*trace.VM) ([]coachvm.Prediction, []bool) {
 	preds := make([]coachvm.Prediction, len(vms))
 	oks := make([]bool, len(vms))
+	lt.PredictBatchInto(tr, vms, preds, oks)
+	return preds, oks
+}
+
+// PredictBatchInto is PredictBatch writing into caller-owned slices (both
+// len(vms)), so a steady-state caller — serve's admission batcher reuses
+// per-shard scratch — pays no per-batch result allocation beyond the
+// prediction windows themselves. Entries are fully overwritten.
+func (lt *LongTerm) PredictBatchInto(tr *trace.Trace, vms []*trace.VM, preds []coachvm.Prediction, oks []bool) {
 	// First pass: resolve VMs predictable from their own observed series
 	// or rejected for insufficient history; collect the forest-path rest.
 	var fresh []int // indexes into vms needing a forest evaluation
 	for i, vm := range vms {
-		preds[i].Windows = lt.cfg.Windows
-		preds[i].Percentile = lt.cfg.Percentile
+		// Fully overwrite the caller's (possibly reused) entries.
+		preds[i] = coachvm.Prediction{Windows: lt.cfg.Windows, Percentile: lt.cfg.Percentile}
+		oks[i] = false
 		if visible := visibleSamples(vm, lt.upTo); visible >= lt.cfg.MinSamples {
 			for _, k := range resources.Kinds {
 				s := vm.Util[k][:visible]
@@ -369,7 +379,7 @@ func (lt *LongTerm) PredictBatch(tr *trace.Trace, vms []*trace.VM) ([]coachvm.Pr
 		fresh = append(fresh, i)
 	}
 	if len(fresh) == 0 {
-		return preds, oks
+		return
 	}
 
 	// Second pass: one batched ensemble evaluation per (resource, target)
@@ -411,7 +421,6 @@ func (lt *LongTerm) PredictBatch(tr *trace.Trace, vms []*trace.VM) ([]coachvm.Pr
 	for _, vi := range fresh {
 		preds[vi].Clamp()
 	}
-	return preds, oks
 }
 
 // quantizeAll applies quantize element-wise.

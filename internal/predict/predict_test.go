@@ -2,8 +2,10 @@ package predict
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"github.com/coach-oss/coach/internal/coachvm"
 	"github.com/coach-oss/coach/internal/resources"
 	"github.com/coach-oss/coach/internal/timeseries"
 	"github.com/coach-oss/coach/internal/trace"
@@ -313,5 +315,43 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 	if !sawFresh || !sawSelf {
 		t.Errorf("batch did not cover both paths: fresh=%v self=%v noHistory=%v",
 			sawFresh, sawSelf, sawNoHist)
+	}
+}
+
+// TestPredictBatchIntoOverwritesReusedSlices pins the Into form's reuse
+// contract: a second batch written into the same slices must leave no
+// residue of the first — in particular a VM rejected for insufficient
+// history must not inherit the previous occupant's prediction windows.
+func TestPredictBatchIntoOverwritesReusedSlices(t *testing.T) {
+	tr, m := getTraceAndModel(t)
+	var okVMs, noHistVMs []*trace.VM
+	for i := range tr.VMs {
+		vm := &tr.VMs[i]
+		if _, ok := m.Predict(tr, vm); ok {
+			okVMs = append(okVMs, vm)
+		} else {
+			noHistVMs = append(noHistVMs, vm)
+		}
+	}
+	if len(okVMs) == 0 || len(noHistVMs) == 0 {
+		t.Skipf("need both predictable and history-poor VMs (%d/%d)", len(okVMs), len(noHistVMs))
+	}
+	preds := make([]coachvm.Prediction, 1)
+	oks := make([]bool, 1)
+	m.PredictBatchInto(tr, okVMs[:1], preds, oks)
+	if !oks[0] || preds[0].Pct[resources.Memory] == nil {
+		t.Fatalf("first batch: ok=%v pred=%+v", oks[0], preds[0])
+	}
+	m.PredictBatchInto(tr, noHistVMs[:1], preds, oks)
+	if oks[0] {
+		t.Fatal("history-poor VM predicted ok on reused slice")
+	}
+	if preds[0].Pct[resources.Memory] != nil || preds[0].Max[resources.Memory] != nil {
+		t.Fatal("reused prediction entry kept the previous batch's windows")
+	}
+	want, _ := m.Predict(tr, okVMs[0])
+	m.PredictBatchInto(tr, okVMs[:1], preds, oks)
+	if !oks[0] || !reflect.DeepEqual(preds[0], want) {
+		t.Fatalf("reused slice batch diverged from Predict: %+v vs %+v", preds[0], want)
 	}
 }

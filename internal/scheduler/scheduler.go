@@ -220,6 +220,41 @@ func (s *Scheduler) CandidatesInto(vm *coachvm.CVM, exclude int, scratch []Candi
 	return out
 }
 
+// NumServers returns the number of servers the scheduler packs over.
+func (s *Scheduler) NumServers() int { return len(s.servers) }
+
+// ScoreRowInto fills row (length NumServers) with vm's post-placement
+// packing score on every feasible server, and -1 where the server is down
+// or vm does not fit — the same feasibility test and score CandidatesInto
+// ranks, flattened to a dense per-server row. The batched admission
+// rollout (core.WhatIfScorer.ScoreMany) scores many VMs against one fleet
+// snapshot this way: a dense row never needs re-sorting, so committing an
+// earlier VM invalidates exactly one cell per later row (ScoreAt) instead
+// of a whole ranking. Picking the highest-scoring cell with ties on the
+// lowest index reproduces CandidatesInto's rank order exactly.
+func (s *Scheduler) ScoreRowInto(vm *coachvm.CVM, row []float64) {
+	for i, st := range s.servers {
+		if s.Down(i) || !st.Pool.Fits(vm) {
+			row[i] = -1
+			continue
+		}
+		row[i] = s.packScore(st, vm)
+	}
+}
+
+// ScoreAt re-evaluates one (vm, server) cell of a ScoreRowInto row against
+// the scheduler's current state: -1 when server is down or vm no longer
+// fits, the packing score otherwise. After a placement commits on a
+// server, re-scoring that single column is bit-identical to rebuilding the
+// whole row — no other server's pool changed.
+func (s *Scheduler) ScoreAt(vm *coachvm.CVM, server int) float64 {
+	st := s.servers[server]
+	if s.Down(server) || !st.Pool.Fits(vm) {
+		return -1
+	}
+	return s.packScore(st, vm)
+}
+
 // packScore scores placing vm on st: the mean packed fraction across
 // resources after placement. Higher is fuller, which the best-fit
 // preference maximizes.

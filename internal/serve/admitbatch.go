@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// This file implements cross-request admission batching (docs/DESIGN.md
+// §15): the opportunistic batcher shape proven for predictions (batch.go),
+// extended to whole admission decisions. Requests are queued per shard —
+// admission never crosses cluster boundaries, so batches never do either —
+// and each shard's single loop goroutine coalesces whatever arrived inside
+// the batch window into one fleet-sized rollout: one batched forest pass
+// (predict.LongTerm.PredictBatchInto), one scored (request × server)
+// matrix plus one pool-state sweep (core.WhatIfScorer.ScoreMany), then a
+// serial arrival-order commit loop. Results are bit-identical to serial
+// admission in arrival order — including capacity conflicts where request
+// i consumes the slot request i+1 wanted — so responses never depend on
+// which requests happened to share a batch.
+
+// admitOut is one request's admission result, delivered on its private
+// channel.
+type admitOut struct {
+	res AdmitResult
+	err error
+}
+
+// admitJob is one queued admission request.
+type admitJob struct {
+	vm   *trace.VM
+	resp chan admitOut
+}
+
+// AdmitBatchStats reports how effectively concurrent admissions coalesced
+// and how much commit-time rework the batches caused.
+type AdmitBatchStats struct {
+	Requests int64   `json:"requests"`
+	Batches  int64   `json:"batches"`
+	MaxBatch int     `json:"max_batch"`
+	MeanSize float64 `json:"mean_size"`
+	// P50Size is the median batch size: the smallest size s such that at
+	// least half of all batches had size ≤ s.
+	P50Size int `json:"p50_size"`
+	// ConflictReplays counts (request, server) cells re-scored after an
+	// earlier request in the same batch committed a placement on that
+	// server — the incremental work that keeps batched decisions
+	// bit-identical to serial arrival order (core.Rollout.Commit).
+	ConflictReplays int64 `json:"conflict_replays"`
+}
+
+// admitBatcher coalesces concurrent admission requests into per-shard
+// batched decision passes. One background goroutine per shard owns that
+// shard's loop — the same block-drain-flush collection discipline as the
+// prediction batcher — and run executes the whole batch under the shard
+// lock. The submit/close protocol (closed flag, senders WaitGroup) is the
+// prediction batcher's, shared across every shard queue.
+type admitBatcher struct {
+	cfg    BatchConfig
+	run    func(shard int, vms []*trace.VM, out []admitOut) (replays int)
+	queues []chan admitJob
+	done   sync.WaitGroup
+
+	// respPool recycles the per-request response channels (each carries
+	// exactly one value per use, so a drained channel is safely reusable).
+	respPool sync.Pool
+
+	// onBatch, when set before any traffic, observes every batch's shard
+	// and arrival order from the loop goroutine — the equivalence tests
+	// replay exactly the coalesced order serially.
+	onBatch func(shard int, vms []*trace.VM)
+
+	mu sync.Mutex
+	// senders counts submits that passed the closed check but have not
+	// finished sending; close() waits for them before closing the queues,
+	// so no send can hit a closed channel.
+	senders  sync.WaitGroup
+	closed   bool
+	requests int64
+	batches  int64
+	maxSeen  int
+	sizes    map[int]int64 // batch size → occurrences, for the p50
+	replays  int64
+}
+
+// newAdmitBatcher starts one collection loop per shard. run performs one
+// batched admission pass for a shard; it is called from that shard's loop
+// goroutine only, so per-shard scratch needs no locking beyond the shard
+// lock run itself takes.
+func newAdmitBatcher(shards int, cfg BatchConfig, run func(shard int, vms []*trace.VM, out []admitOut) int) *admitBatcher {
+	b := &admitBatcher{
+		cfg:    cfg.withDefaults(),
+		run:    run,
+		queues: make([]chan admitJob, shards),
+		sizes:  make(map[int]int64),
+	}
+	for i := range b.queues {
+		b.queues[i] = make(chan admitJob, b.cfg.Queue)
+		b.done.Add(1)
+		go b.loop(i)
+	}
+	return b
+}
+
+// submit enqueues one admission on its home shard's queue and blocks for
+// the result.
+func (b *admitBatcher) submit(shard int, vm *trace.VM) (AdmitResult, error) {
+	resp, _ := b.respPool.Get().(chan admitOut)
+	if resp == nil {
+		resp = make(chan admitOut, 1)
+	}
+	job := admitJob{vm: vm, resp: resp}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return AdmitResult{}, ErrClosed
+	}
+	b.requests++
+	b.senders.Add(1)
+	b.mu.Unlock()
+	// The loop drains its queue until the channel closes, so this send
+	// always completes even when the queue is momentarily full.
+	b.queues[shard] <- job
+	b.senders.Done()
+	out := <-resp
+	b.respPool.Put(resp)
+	return out.res, out.err
+}
+
+// close stops accepting work, waits for queued requests to be answered and
+// stops every shard loop.
+func (b *admitBatcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.done.Wait()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	b.senders.Wait()
+	for _, q := range b.queues {
+		close(q)
+	}
+	b.done.Wait()
+}
+
+// stats snapshots the coalescing counters.
+func (b *admitBatcher) stats() AdmitBatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := AdmitBatchStats{
+		Requests:        b.requests,
+		Batches:         b.batches,
+		MaxBatch:        b.maxSeen,
+		ConflictReplays: b.replays,
+	}
+	if b.batches > 0 {
+		s.MeanSize = float64(b.requests) / float64(b.batches)
+		s.P50Size = percentileSize(b.sizes, b.batches)
+	}
+	return s
+}
+
+// percentileSize returns the median batch size from a size histogram.
+func percentileSize(sizes map[int]int64, batches int64) int {
+	keys := make([]int, 0, len(sizes))
+	for k := range sizes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	half := (batches + 1) / 2
+	var seen int64
+	for _, k := range keys {
+		seen += sizes[k]
+		if seen >= half {
+			return k
+		}
+	}
+	return 0
+}
+
+// loop is one shard queue's single consumer.
+func (b *admitBatcher) loop(shard int) {
+	defer b.done.Done()
+	batch := make([]admitJob, 0, b.cfg.MaxBatch)
+	vms := make([]*trace.VM, 0, b.cfg.MaxBatch)
+	out := make([]admitOut, b.cfg.MaxBatch)
+	for {
+		first, ok := <-b.queues[shard]
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		batch, ok = b.fill(shard, batch)
+		b.flush(shard, batch, vms, out)
+		if !ok {
+			return
+		}
+	}
+}
+
+// fill grows batch up to MaxBatch: first by draining what is already
+// queued without blocking, then — when MaxWait is set — by waiting up to
+// MaxWait for stragglers. Returns ok=false once the shard queue closed.
+func (b *admitBatcher) fill(shard int, batch []admitJob) ([]admitJob, bool) {
+	for len(batch) < b.cfg.MaxBatch {
+		select {
+		case j, ok := <-b.queues[shard]:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, j)
+		default:
+			if b.cfg.MaxWait <= 0 {
+				return batch, true
+			}
+			return b.fillTimed(shard, batch)
+		}
+	}
+	return batch, true
+}
+
+// fillTimed continues filling until MaxWait elapses or the batch is full.
+func (b *admitBatcher) fillTimed(shard int, batch []admitJob) ([]admitJob, bool) {
+	timer := time.NewTimer(b.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < b.cfg.MaxBatch {
+		select {
+		case j, ok := <-b.queues[shard]:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
+// flush runs one batched admission pass and fans results out to the
+// waiters. vms and out are the loop's scratch.
+func (b *admitBatcher) flush(shard int, batch []admitJob, vms []*trace.VM, out []admitOut) {
+	if len(batch) == 0 {
+		return
+	}
+	vms = vms[:0]
+	for _, j := range batch {
+		vms = append(vms, j.vm)
+	}
+	if b.onBatch != nil {
+		b.onBatch(shard, vms)
+	}
+	out = out[:len(batch)]
+	for i := range out {
+		out[i] = admitOut{}
+	}
+	replays := b.run(shard, vms, out)
+	b.mu.Lock()
+	b.batches++
+	b.sizes[len(batch)]++
+	b.replays += int64(replays)
+	if len(batch) > b.maxSeen {
+		b.maxSeen = len(batch)
+	}
+	b.mu.Unlock()
+	for i, j := range batch {
+		j.resp <- out[i]
+	}
+}

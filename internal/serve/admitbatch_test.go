@@ -1,0 +1,388 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/coach-oss/coach/internal/cluster"
+	"github.com/coach-oss/coach/internal/resources"
+	"github.com/coach-oss/coach/internal/trace"
+)
+
+// tinyFleet builds a deliberately capacity-constrained fleet — ten
+// clusters of serversPer small servers, each holding only a few median
+// VMs — so admission storms hit genuine capacity conflicts.
+func tinyFleet(serversPer int) *cluster.Fleet {
+	spec := cluster.ServerSpec{Name: "tiny", Generation: 1,
+		Capacity: resources.NewVector(16, 64, 10, 1024)}
+	var cfgs []cluster.Config
+	for i := 0; i < 10; i++ {
+		cfgs = append(cfgs, cluster.Config{Name: fmt.Sprintf("T%d", i+1), Spec: spec, Servers: serversPer})
+	}
+	return cluster.NewFleet(cfgs)
+}
+
+// postAdmit drives one POST /v1/admit through the handler and returns the
+// raw status and body — the bytes the equivalence tests compare.
+func postAdmit(t *testing.T, h http.Handler, vmID int) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(VMRequest{VM: vmID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/admit", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// batchRecorder captures every admit batch's shard and arrival order from
+// the batcher's loop goroutines.
+type batchRecorder struct {
+	mu      sync.Mutex
+	byShard map[int][]int // shard → VM ids in coalesced arrival order
+	sizes   []int
+}
+
+func (r *batchRecorder) hook(shard int, vms []*trace.VM) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byShard == nil {
+		r.byShard = make(map[int][]int)
+	}
+	for _, vm := range vms {
+		r.byShard[shard] = append(r.byShard[shard], vm.ID)
+	}
+	r.sizes = append(r.sizes, len(vms))
+}
+
+// TestAdmitStormBatchedSerialEquivalence is the acceptance storm: 64
+// concurrent clients admit through the batched service over HTTP, a hook
+// records the per-shard order requests actually coalesced in, and the same
+// order replayed serially against a -no-batch service must produce
+// byte-identical responses for every VM — on a fleet small enough that
+// capacity conflicts are common, so later requests genuinely depend on
+// earlier commits.
+func TestAdmitStormBatchedSerialEquivalence(t *testing.T) {
+	tr := getTrace(t)
+	cache := NewModelCache()
+	newSvc := func(serial bool) *Service {
+		cfg := DefaultConfig()
+		cfg.Cache = cache
+		cfg.DataPlane = true
+		cfg.AdmitPressureFrac = 0.95
+		if serial {
+			cfg.Batch.Disabled = true // mirrors into AdmitBatch: fully serial
+		} else {
+			cfg.Batch.MaxWait = 2 * time.Millisecond
+		}
+		// Two small servers per cluster: most shards run out of capacity
+		// during the storm, forcing conflict commits inside batches.
+		fleet := tinyFleet(2)
+		s, err := New(tr, fleet, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		if err := s.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	batched, serial := newSvc(false), newSvc(true)
+
+	rec := &batchRecorder{}
+	batched.admit.onBatch = rec.hook
+
+	vms := evalVMs(tr)
+	if len(vms) < 64 {
+		t.Fatalf("only %d evaluation VMs", len(vms))
+	}
+	const clients = 64
+	got := make(map[int]string, len(vms)) // VM id → "status\nbody"
+	var gotMu sync.Mutex
+	var wg sync.WaitGroup
+	h := batched.Handler()
+	per := (len(vms) + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		lo := c * per
+		if lo >= len(vms) {
+			break
+		}
+		hi := lo + per
+		if hi > len(vms) {
+			hi = len(vms)
+		}
+		wg.Add(1)
+		go func(mine []*trace.VM) {
+			defer wg.Done()
+			for _, vm := range mine {
+				code, body := postAdmit(t, h, vm.ID)
+				gotMu.Lock()
+				got[vm.ID] = fmt.Sprintf("%d\n%s", code, body)
+				gotMu.Unlock()
+			}
+		}(vms[lo:hi])
+	}
+	wg.Wait()
+
+	// Replay the exact coalesced order serially. Shards are independent —
+	// admission state never crosses them — so shard order is irrelevant.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	sh := serial.Handler()
+	total, rejected := 0, 0
+	for shard, ids := range rec.byShard {
+		for _, id := range ids {
+			code, body := postAdmit(t, sh, id)
+			want := fmt.Sprintf("%d\n%s", code, body)
+			if got[id] != want {
+				t.Fatalf("shard %d vm %d: batched response %q != serial replay %q", shard, id, got[id], want)
+			}
+			total++
+			if code != http.StatusOK {
+				rejected++
+			}
+		}
+	}
+	if total != len(vms) {
+		t.Fatalf("hook saw %d admissions, want %d", total, len(vms))
+	}
+	if rejected == 0 {
+		t.Fatalf("storm saw no rejections — fleet not capacity-constrained, conflicts untested")
+	}
+}
+
+// forcedBatch admits vms concurrently against a service configured so they
+// all coalesce into exactly one batch (MaxBatch = len(vms), a generous
+// MaxWait), returning each VM's result in submission-slice order.
+func forcedBatch(t *testing.T, s *Service, vms []*trace.VM) []AdmitResult {
+	t.Helper()
+	res := make([]AdmitResult, len(vms))
+	var wg sync.WaitGroup
+	for i, vm := range vms {
+		wg.Add(1)
+		go func(i int, vm *trace.VM) {
+			defer wg.Done()
+			r, err := s.Admit(vm)
+			if err != nil {
+				t.Errorf("admit vm %d: %v", vm.ID, err)
+			}
+			res[i] = r
+		}(i, vm)
+	}
+	wg.Wait()
+	return res
+}
+
+// sameClusterVMs returns up to n evaluation VMs homed in one cluster of a
+// width-clusters fleet.
+func sameClusterVMs(tr *trace.Trace, clusters, n int) []*trace.VM {
+	byShard := make(map[int][]*trace.VM)
+	best := -1
+	for _, vm := range evalVMs(tr) {
+		ci := vm.Cluster % clusters
+		if ci < 0 {
+			ci += clusters
+		}
+		byShard[ci] = append(byShard[ci], vm)
+		if best < 0 || len(byShard[ci]) > len(byShard[best]) {
+			best = ci
+		}
+	}
+	vms := byShard[best]
+	if len(vms) > n {
+		vms = vms[:n]
+	}
+	return vms
+}
+
+// TestAdmitConflictReplaysWithinBatch forces one deterministic batch onto
+// a single-server cluster so later requests must observe the capacity
+// earlier requests consumed: the batch must both admit and reject, count
+// conflict replays, and match a serial replay of the recorded order
+// exactly.
+func TestAdmitConflictReplaysWithinBatch(t *testing.T) {
+	tr := getTrace(t)
+	cache := NewModelCache()
+	vms := sameClusterVMs(tr, 10, 12)
+	if len(vms) < 4 {
+		t.Fatalf("only %d VMs share a cluster", len(vms))
+	}
+
+	mk := func(serial bool) *Service {
+		cfg := DefaultConfig()
+		cfg.Cache = cache
+		cfg.DataPlane = true
+		cfg.AdmitPressureFrac = 0.95
+		if serial {
+			cfg.Batch.Disabled = true
+		} else {
+			cfg.AdmitBatch = BatchConfig{MaxBatch: len(vms), MaxWait: 2 * time.Second}
+		}
+		fleet := tinyFleet(1)
+		s, err := New(tr, fleet, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		if err := s.Warm(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	batched, serial := mk(false), mk(true)
+
+	rec := &batchRecorder{}
+	batched.admit.onBatch = rec.hook
+
+	byID := make(map[int]AdmitResult, len(vms))
+	res := forcedBatch(t, batched, vms)
+	for i, vm := range vms {
+		byID[vm.ID] = res[i]
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.sizes) != 1 || rec.sizes[0] != len(vms) {
+		t.Fatalf("expected one batch of %d, got sizes %v", len(vms), rec.sizes)
+	}
+	order := rec.byShard[batched.shardIndex(vms[0])]
+
+	admitted, rejectedInBatch := 0, 0
+	for _, id := range order {
+		r := byID[id]
+		want, err := serial.Admit(serial.vmByID[id])
+		if err != nil {
+			t.Fatalf("serial admit vm %d: %v", id, err)
+		}
+		if r != want {
+			t.Fatalf("vm %d: batched %+v != serial-in-order %+v", id, r, want)
+		}
+		if r.Admitted {
+			admitted++
+		} else {
+			rejectedInBatch++
+		}
+	}
+	if admitted == 0 || rejectedInBatch == 0 {
+		t.Fatalf("conflict batch must both admit and reject (admitted=%d rejected=%d)", admitted, rejectedInBatch)
+	}
+	st := batched.Stats().AdmitBatch
+	if st.ConflictReplays == 0 {
+		t.Error("commits inside a multi-request batch must be folded back as conflict replays")
+	}
+	if st.Batches != 1 || st.Requests != int64(len(vms)) || st.MaxBatch != len(vms) || st.P50Size != len(vms) {
+		t.Errorf("stats %+v do not describe one batch of %d", st, len(vms))
+	}
+}
+
+// TestAdmitBatchOnePassPerBatch pins the whole point of the tentpole:
+// however many admissions coalesce, the batch runs one set of forest
+// passes (identical to a single fresh prediction's) and one what-if sweep
+// — not one per request.
+func TestAdmitBatchOnePassPerBatch(t *testing.T) {
+	tr := getTrace(t)
+	cache := NewModelCache()
+	vms := sameClusterVMs(tr, 10, 8)
+	if len(vms) < 4 {
+		t.Fatalf("only %d VMs share a cluster", len(vms))
+	}
+
+	cfg := DefaultConfig()
+	cfg.Cache = cache
+	cfg.DataPlane = true
+	cfg.AdmitPressureFrac = 0.99
+	cfg.AdmitBatch = BatchConfig{MaxBatch: len(vms), MaxWait: 2 * time.Second}
+	fleet := cluster.NewFleet(cluster.DefaultClusters(len(vms)))
+	s, err := New(tr, fleet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if err := s.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	model, err := s.modelFor()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference cost: one single-request batch.
+	solo := vms[:1]
+	passes0 := model.InferenceStats().Passes
+	batches0 := s.Stats().DataPlane.WhatIfBatches
+	forcedBatch(t, s, solo)
+	passesSolo := model.InferenceStats().Passes - passes0
+	if got := s.Stats().DataPlane.WhatIfBatches - batches0; got != 1 {
+		t.Fatalf("single admission ran %d what-if sweeps, want 1", got)
+	}
+	for _, vm := range solo {
+		if _, err := s.Release(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The full batch must cost exactly the same number of forest passes
+	// and still exactly one what-if sweep.
+	passes1 := model.InferenceStats().Passes
+	batches1 := s.Stats().DataPlane.WhatIfBatches
+	forcedBatch(t, s, vms)
+	if got := model.InferenceStats().Passes - passes1; got != passesSolo {
+		t.Errorf("batch of %d ran %d forest passes, want %d (same as batch of 1)", len(vms), got, passesSolo)
+	}
+	if got := s.Stats().DataPlane.WhatIfBatches - batches1; got != 1 {
+		t.Errorf("batch of %d ran %d what-if sweeps, want 1", len(vms), got)
+	}
+	st := s.Stats().AdmitBatch
+	if st.Batches != 2 || st.MaxBatch != len(vms) {
+		t.Errorf("stats %+v after a solo batch and a full batch", st)
+	}
+}
+
+// TestAdmitBatchDisabledMirrorsPredictionBatcher checks the config
+// defaulting: AdmitBatch's zero value follows Batch (one -no-batch knob
+// disables both), and an explicit AdmitBatch stands alone.
+func TestAdmitBatchDisabledMirrorsPredictionBatcher(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Batch.Disabled = true
+	s := newTestService(t, cfg)
+	if s.admit != nil {
+		t.Error("zero AdmitBatch must mirror a disabled Batch")
+	}
+
+	cfg = DefaultConfig()
+	cfg.Batch.Disabled = true
+	cfg.AdmitBatch = BatchConfig{MaxBatch: 8}
+	s = newTestService(t, cfg)
+	if s.admit == nil {
+		t.Error("explicit AdmitBatch must override the Batch mirror")
+	}
+
+	s = newTestService(t, DefaultConfig())
+	if s.admit == nil {
+		t.Error("default config must batch admissions")
+	}
+}
+
+// TestAdmitBatchedDuplicateRejected checks duplicate admissions through
+// the batched path keep the serial contract, whether the duplicate lands
+// in a later batch or races into the same one.
+func TestAdmitBatchedDuplicateRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	s := newTestService(t, cfg)
+	tr := getTrace(t)
+	vm := evalVMs(tr)[0]
+	if res, err := s.Admit(vm); err != nil || !res.Admitted {
+		t.Fatalf("first admit: res=%+v err=%v", res, err)
+	}
+	if _, err := s.Admit(vm); err == nil {
+		t.Fatal("duplicate admit must fail")
+	}
+}

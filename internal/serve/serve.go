@@ -74,6 +74,14 @@ type Config struct {
 	TrainUpTo int
 	// Batch tunes the prediction batcher.
 	Batch BatchConfig
+	// AdmitBatch tunes the admission batcher, which coalesces concurrent
+	// admissions on the same shard into one fleet-sized what-if rollout
+	// (one forest pass, one score matrix, one pool sweep) committed in
+	// arrival order — bit-identical to serial admission (docs/DESIGN.md
+	// §15). The zero value mirrors Batch, so disabling prediction
+	// batching (-no-batch) disables admission batching too unless
+	// AdmitBatch is set explicitly.
+	AdmitBatch BatchConfig
 	// Cache optionally shares a trained-model cache across services.
 	// When nil the service creates a private one.
 	Cache *ModelCache
@@ -154,6 +162,21 @@ type fleetShard struct {
 	dpVMs map[int]*dpTracked
 	eng   *core.MigrationEngine
 
+	// scorer batches placement scoring for this shard: the migration
+	// engine's scorer when the data plane is on (so admission, migration
+	// and recovery share one scratch and one set of counters), a
+	// scheduler-only scorer otherwise. Guarded by mu; nil when the shard
+	// has no servers.
+	scorer *core.WhatIfScorer
+
+	// Admission-batch scratch, owned exclusively by the shard's admit
+	// loop goroutine (admitBatcher.loop) — never touched elsewhere, so
+	// it needs no locking of its own.
+	abPreds []coachvm.Prediction
+	abOKs   []bool
+	abCVMs  []*coachvm.CVM
+	abNeeds []float64
+
 	// Migration-landing and pressure-admission counters (guarded by mu).
 	// Cross-shard landings are attributed to the source shard, warm
 	// arrivals to the landing shard.
@@ -231,6 +254,9 @@ type Service struct {
 	route   map[int]int
 
 	batcher *batcher
+	// admit is the admission batcher (nil when AdmitBatch.Disabled):
+	// per-shard queues whose loop goroutines run admitBatch.
+	admit *admitBatcher
 
 	// dpTicks counts completed TickDataPlane passes.
 	dpTicks atomic.Int64
@@ -298,6 +324,11 @@ func New(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Service, error) {
 	if cache == nil {
 		cache = NewModelCache()
 	}
+	if cfg.AdmitBatch == (BatchConfig{}) {
+		// Unconfigured admission batching follows the prediction batcher,
+		// so one -no-batch knob yields fully serial serving.
+		cfg.AdmitBatch = cfg.Batch
+	}
 
 	ltCfg := cfg.LongTerm
 	ltCfg.Windows = cfg.Windows
@@ -355,12 +386,18 @@ func New(tr *trace.Trace, fleet *cluster.Fleet, cfg Config) (*Service, error) {
 				sh.dp = dp
 				sh.dpVMs = make(map[int]*dpTracked)
 				sh.eng = eng
+				sh.scorer = eng.Scorer()
+			} else {
+				sh.scorer = core.NewWhatIfScorer(sched, nil)
 			}
 		}
 		s.shards = append(s.shards, sh)
 	}
 	if !cfg.Batch.Disabled {
 		s.batcher = newBatcher(cfg.Batch, s.predictBatch)
+	}
+	if !cfg.AdmitBatch.Disabled {
+		s.admit = newAdmitBatcher(len(s.shards), cfg.AdmitBatch, s.admitBatch)
 	}
 	return s, nil
 }
@@ -467,8 +504,11 @@ type AdmitResult struct {
 
 // Admit predicts vm, shapes it into a CoachVM under the configured policy
 // and places it onto its home cluster's shard. Admissions of distinct
-// clusters run concurrently; within a cluster the shard lock serializes
-// placement so the underlying best-fit packer stays deterministic.
+// clusters run concurrently; within a cluster concurrent admissions
+// coalesce into batched decision passes (unless AdmitBatch.Disabled)
+// whose results are bit-identical to serial admission in arrival order —
+// the shard lock serializes placement either way, so the underlying
+// best-fit packer stays deterministic.
 //
 // With AdmitPressureFrac set, admission of an oversubscribed VM consults
 // the shard's data-plane pressure through the migration engine's shared
@@ -476,6 +516,17 @@ type AdmitResult struct {
 // can absorb its scheduled peak VA demand, and rejected — even when raw
 // capacity exists — when every pool in the home cluster is thrashing.
 func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
+	if s.admit != nil {
+		return s.admit.submit(s.shardIndex(vm), vm)
+	}
+	return s.admitSerial(vm)
+}
+
+// admitSerial is the per-request admission path: one prediction (through
+// the prediction batcher when enabled), one CVM shaping, one placement
+// decision under the shard lock. It is the reference the batched path is
+// bit-identical to.
+func (s *Service) admitSerial(vm *trace.VM) (AdmitResult, error) {
 	pred, ok, err := s.Predict(vm)
 	degraded := false
 	if err != nil {
@@ -559,6 +610,147 @@ func (s *Service) Admit(vm *trace.VM) (AdmitResult, error) {
 	}
 	s.setRoute(vm.ID, ci)
 	return res, nil
+}
+
+// admitBatch is the admission batcher's per-shard worker: one batched
+// decision pass over every request that coalesced on shard ci, returning
+// the number of conflict-replayed rollout cells (docs/DESIGN.md §15).
+//
+// The expensive sweeps run once per batch instead of once per request —
+// one batched forest pass (PredictBatchInto), one scored
+// (request × server) matrix plus one pool-state sweep (ScoreMany) — then
+// a serial commit loop walks the requests in arrival order, applying each
+// decision exactly as admitSerial would have at that point: every check,
+// counter and reason string below mirrors admitSerial line for line, and
+// Rollout.Commit folds each placement into the snapshot so request i+1
+// observes the capacity request i consumed. The equivalence and conflict
+// tests in admitbatch_test.go pin the bit-identity.
+func (s *Service) admitBatch(ci int, vms []*trace.VM, out []admitOut) int {
+	sh := s.shards[ci]
+
+	degraded := false
+	m, merr := s.modelFor()
+	if merr != nil {
+		if !errors.Is(merr, ErrModelUnavailable) {
+			for i := range out {
+				out[i] = admitOut{err: merr}
+			}
+			return 0
+		}
+		// Degraded admission, exactly as admitSerial: no model, no
+		// oversubscription — every VM in the batch shapes fully
+		// guaranteed and best-fit places.
+		degraded = true
+	}
+	if cap(sh.abPreds) < len(vms) {
+		sh.abPreds = make([]coachvm.Prediction, len(vms))
+		sh.abOKs = make([]bool, len(vms))
+	}
+	preds, oks := sh.abPreds[:len(vms)], sh.abOKs[:len(vms)]
+	if !degraded {
+		m.PredictBatchInto(s.tr, vms, preds, oks)
+	}
+
+	cvms, needs := sh.abCVMs[:0], sh.abNeeds[:0]
+	for i, vm := range vms {
+		pred, ok := coachvm.Prediction{}, false
+		if !degraded {
+			pred, ok = preds[i], oks[i]
+		}
+		cvm, err := scheduler.BuildCVM(s.cfg.Policy, vm.ID, vm.Alloc, pred, ok, s.cfg.Windows)
+		if err != nil {
+			out[i] = admitOut{err: err}
+			cvms, needs = append(cvms, nil), append(needs, 0)
+			continue
+		}
+		out[i].res = AdmitResult{
+			Cluster:        ci,
+			Server:         -1,
+			Oversubscribed: ok && s.cfg.Policy != scheduler.PolicyNone,
+			Alloc:          vm.Alloc,
+			Guaranteed:     cvm.Guaranteed,
+			Degraded:       degraded,
+		}
+		cvms, needs = append(cvms, cvm), append(needs, core.VAPeakGB(cvm))
+	}
+	sh.abCVMs, sh.abNeeds = cvms, needs
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var ro *core.Rollout
+	if sh.scorer != nil {
+		ro = sh.scorer.ScoreMany(cvms, needs)
+	}
+	replays := 0
+	for r, vm := range vms {
+		cvm := cvms[r]
+		if cvm == nil {
+			continue // BuildCVM failed; out[r] already carries the error
+		}
+		if s.routedShard(vm.ID) >= 0 {
+			out[r].err = fmt.Errorf("serve: vm %d %w", vm.ID, ErrAlreadyAdmitted)
+			continue
+		}
+		if sh.sched == nil {
+			sh.rejected++
+			out[r].res.Reason = "home cluster has no servers"
+			continue
+		}
+		if sh.sched.ServerOf(vm.ID) >= 0 {
+			out[r].err = fmt.Errorf("serve: vm %d %w", vm.ID, ErrAlreadyAdmitted)
+			continue
+		}
+		srv, placed := -1, false
+		if sh.dp != nil && s.cfg.AdmitPressureFrac > 0 && needs[r] > 0 {
+			if c := ro.PickPressured(r, s.cfg.AdmitPressureFrac); c >= 0 {
+				if err := sh.sched.PlaceAt(cvm, c); err == nil {
+					srv, placed = c, true
+				}
+			} else if ro.HasFeasible(r) {
+				sh.rejected++
+				sh.pressureRejected++
+				out[r].res.Reason = "pool pressure: no server in the home cluster can absorb the VM's oversubscribed demand"
+				out[r].res.Retryable = true
+				continue
+			}
+		}
+		if !placed {
+			if f := ro.PickFit(r); f >= 0 {
+				if err := sh.sched.PlaceAt(cvm, f); err == nil {
+					srv, placed = f, true
+				}
+			}
+			if !placed {
+				sh.rejected++
+				out[r].res.Reason = "no server in the home cluster has capacity"
+				out[r].res.Retryable = true
+				continue
+			}
+		}
+		sh.admitted++
+		out[r].res.Admitted = true
+		out[r].res.Server = srv
+		attached := true
+		if sh.dp != nil {
+			err := sh.dp.Attach(srv, vm.ID,
+				vm.Alloc[resources.Memory], cvm.Guaranteed[resources.Memory])
+			if err != nil {
+				out[r].err = err
+				attached = false
+			} else {
+				tr := &dpTracked{vm: vm}
+				sh.dpVMs[vm.ID] = tr
+				sh.dp.SetWSS(vm.ID, tr.wss())
+			}
+		}
+		if attached {
+			s.setRoute(vm.ID, ci)
+		}
+		// The placement mutated this server's pool whether or not the
+		// attach succeeded; fold it in so later requests see it.
+		replays += ro.Commit(r, srv)
+	}
+	return replays
 }
 
 // routedShard returns the shard currently holding vmID (-1 when not
@@ -825,12 +1017,16 @@ type Stats struct {
 	// Degraded reports that the service is running without a prediction
 	// model (training failed or was fault-injected to fail): admissions
 	// fall back to fully-guaranteed best-fit and /readyz is not-ready.
-	Degraded  bool           `json:"degraded"`
-	Placed    int            `json:"placed"`
-	Clusters  []ClusterStats `json:"clusters"`
-	Batch     BatchStats     `json:"batch"`
-	Cache     CacheStats     `json:"cache"`
-	DataPlane DataPlaneStats `json:"data_plane"`
+	Degraded bool           `json:"degraded"`
+	Placed   int            `json:"placed"`
+	Clusters []ClusterStats `json:"clusters"`
+	Batch    BatchStats     `json:"batch"`
+	// AdmitBatch reports admission-batch coalescing: how many admissions
+	// shared fleet-sized rollouts and how much commit-time re-scoring the
+	// sharing cost (docs/api.md).
+	AdmitBatch AdmitBatchStats `json:"admit_batch"`
+	Cache      CacheStats      `json:"cache"`
+	DataPlane  DataPlaneStats  `json:"data_plane"`
 }
 
 // Stats snapshots admission counters, occupancy, batching effectiveness,
@@ -840,6 +1036,9 @@ func (s *Service) Stats() Stats {
 	st.Degraded = s.degraded.Load()
 	if s.batcher != nil {
 		st.Batch = s.batcher.stats()
+	}
+	if s.admit != nil {
+		st.AdmitBatch = s.admit.stats()
 	}
 	if s.cfg.DataPlane {
 		st.DataPlane.Enabled = true
@@ -901,13 +1100,19 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// Close drains the batcher and rejects further requests with ErrClosed.
+// Close drains the batchers and rejects further requests with ErrClosed.
 // It is idempotent and safe to call concurrently with requests: in-flight
-// predictions complete before Close returns.
+// admissions and predictions complete before Close returns. The admission
+// batcher drains first — its workers predict through the model directly,
+// never through the prediction batcher, so the order only matters for
+// answering every queued admission before the service goes quiet.
 func (s *Service) Close() {
 	s.closeMu.Lock()
 	s.closed = true
 	s.closeMu.Unlock()
+	if s.admit != nil {
+		s.admit.close() // idempotent; waits for the drain either way
+	}
 	if s.batcher != nil {
 		s.batcher.close() // idempotent; waits for the drain either way
 	}
